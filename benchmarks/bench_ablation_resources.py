@@ -1,0 +1,52 @@
+"""Ablation: region resource bounds (paper §3.1, §3.3.1).
+
+Two bounds limit a region's preconstruction effort: the fill-up
+prefetch cache (static instruction budget per region) and
+preconstruction-buffer allocation failures (a trace never displaces a
+same-region trace).  This bench sweeps both.
+"""
+
+from __future__ import annotations
+
+from conftest import custom_frontend_point, run_once
+
+PREFETCH_SIZES = (64, 256, 1024)
+FAILURE_LIMITS = (1, 4, 16)
+
+
+def test_region_resource_bounds(benchmark, stream_cache):
+    def experiment():
+        prefetch_rows = {}
+        for size in PREFETCH_SIZES:
+            result = custom_frontend_point(
+                stream_cache, "gcc",
+                precon_overrides={"prefetch_cache_instructions": size})
+            prefetch_rows[size] = (
+                result.stats, result.preconstruction.stats)
+        failure_rows = {}
+        for limit in FAILURE_LIMITS:
+            result = custom_frontend_point(
+                stream_cache, "gcc",
+                precon_overrides={"buffer_failure_limit": limit})
+            failure_rows[limit] = (
+                result.stats, result.preconstruction.stats)
+        return prefetch_rows, failure_rows
+
+    prefetch_rows, failure_rows = run_once(benchmark, experiment)
+    print()
+    print("prefetch-cache size sweep (gcc):")
+    for size, (stats, precon) in prefetch_rows.items():
+        print(f"  {size:5d} instr  miss/KI={stats.trace_miss_rate_per_ki:6.2f}"
+              f"  fetch_bound_regions={precon.regions_fetch_bound}")
+    print("buffer failure-limit sweep (gcc):")
+    for limit, (stats, precon) in failure_rows.items():
+        print(f"  limit={limit:2d}  miss/KI={stats.trace_miss_rate_per_ki:6.2f}"
+              f"  buffer_bound_regions={precon.regions_buffer_bound}")
+
+    # Smaller prefetch caches terminate more regions at the fetch bound.
+    small = prefetch_rows[PREFETCH_SIZES[0]][1].regions_fetch_bound
+    large = prefetch_rows[PREFETCH_SIZES[-1]][1].regions_fetch_bound
+    assert small >= large
+    # All configurations keep preconstruction functional.
+    for stats, _ in list(prefetch_rows.values()) + list(failure_rows.values()):
+        assert stats.buffer_hits > 0

@@ -1,0 +1,51 @@
+"""Ablation: start-point stack depth and priority order (paper §3.2).
+
+"We have found a stack of depth 16 works well" and newest-first
+priority "will tend to preconstruct regions more likely to be
+encountered sooner."  This bench sweeps the depth and compares LIFO
+(the paper) against FIFO ordering.
+"""
+
+from __future__ import annotations
+
+from conftest import custom_frontend_point, run_once
+
+DEPTHS = (4, 8, 16, 32)
+
+
+def test_stack_depth_and_order(benchmark, stream_cache):
+    def experiment():
+        depth_rows = {}
+        for depth in DEPTHS:
+            result = custom_frontend_point(
+                stream_cache, "gcc",
+                precon_overrides={"start_stack_depth": depth})
+            depth_rows[depth] = result.stats
+        order_rows = {}
+        for order in ("newest_first", "oldest_first"):
+            result = custom_frontend_point(
+                stream_cache, "gcc",
+                precon_overrides={"stack_order": order})
+            order_rows[order] = result.stats
+        return depth_rows, order_rows
+
+    depth_rows, order_rows = run_once(benchmark, experiment)
+    print()
+    print("stack depth sweep (gcc):")
+    for depth, stats in depth_rows.items():
+        print(f"  depth={depth:3d} miss/KI={stats.trace_miss_rate_per_ki:6.2f}"
+              f" pb_hits={stats.buffer_hits}")
+    print("priority order (gcc):")
+    for order, stats in order_rows.items():
+        print(f"  {order:13s} miss/KI={stats.trace_miss_rate_per_ki:6.2f}"
+              f" pb_hits={stats.buffer_hits}")
+
+    # Preconstruction functions at every depth; deeper stacks shouldn't
+    # be dramatically worse than the paper's 16.
+    paper = depth_rows[16].trace_miss_rate_per_ki
+    for depth, stats in depth_rows.items():
+        assert stats.buffer_hits > 0
+        assert stats.trace_miss_rate_per_ki < paper * 1.5
+    # Newest-first is at least as good as FIFO (paper's design point).
+    assert (order_rows["newest_first"].trace_miss_rate_per_ki
+            <= order_rows["oldest_first"].trace_miss_rate_per_ki * 1.10)

@@ -1,0 +1,87 @@
+"""Microbenchmarks of the simulation substrate itself.
+
+Unlike the experiment benches (which run once), these measure the raw
+throughput of the hot components with real pytest-benchmark rounds —
+useful for catching performance regressions in the simulator.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.branch import BimodalPredictor, NextTracePredictor
+from repro.engine import FunctionalEngine
+from repro.trace import TraceCache, traces_of_stream
+from repro.workloads import build_workload
+
+
+@pytest.fixture(scope="module")
+def compress_image():
+    return build_workload("compress").image
+
+
+@pytest.fixture(scope="module")
+def compress_stream(compress_image):
+    return FunctionalEngine(compress_image).run(20_000)
+
+
+def test_functional_engine_throughput(benchmark, compress_image):
+    def run():
+        return FunctionalEngine(compress_image).run(10_000)
+
+    stream = benchmark(run)
+    assert len(stream) == 10_000
+
+
+def test_trace_selection_throughput(benchmark, compress_stream):
+    traces = benchmark(traces_of_stream, compress_stream)
+    assert sum(len(t) for t in traces) == len(compress_stream)
+
+
+def test_trace_cache_throughput(benchmark, compress_stream):
+    traces = traces_of_stream(compress_stream)
+
+    def churn():
+        cache = TraceCache()
+        hits = 0
+        for trace in traces:
+            if cache.lookup(trace.trace_id) is None:
+                cache.insert(trace)
+            else:
+                hits += 1
+        return hits
+
+    hits = benchmark(churn)
+    assert hits > 0
+
+
+def test_bimodal_throughput(benchmark, compress_stream):
+    branches = [(r.pc, r.taken) for r in compress_stream
+                if r.inst.is_conditional_branch]
+
+    def train():
+        predictor = BimodalPredictor()
+        correct = 0
+        for pc, taken in branches:
+            correct += predictor.predict(pc) == taken
+            predictor.update(pc, taken)
+        return correct
+
+    correct = benchmark(train)
+    assert correct > len(branches) // 2
+
+
+def test_next_trace_predictor_throughput(benchmark, compress_stream):
+    ids = [t.trace_id for t in traces_of_stream(compress_stream)]
+
+    def train():
+        predictor = NextTracePredictor()
+        correct = 0
+        for trace_id in ids:
+            predicted = predictor.predict()
+            correct += predicted == trace_id
+            predictor.update(trace_id, predicted)
+        return correct
+
+    correct = benchmark(train)
+    assert correct > 0

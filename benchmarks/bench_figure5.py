@@ -1,0 +1,43 @@
+"""Figure 5: trace-cache miss rate vs combined TC+PB size, per benchmark.
+
+Paper claims reproduced here (shape, not absolute numbers):
+
+* for gcc/go (largest working sets), adding a preconstruction buffer
+  beats spending the same area on more trace cache;
+* gcc prefers a small PB with most area in the TC; go benefits from a
+  relatively large PB;
+* compress/ijpeg have tiny working sets and little room to improve;
+* vortex shows the largest relative miss-rate reduction.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import run_once
+from repro.analysis import figure5_sweep, format_figure5
+from repro.workloads import SPEC95_NAMES
+
+#: Reduced grid for the harness (full paper grid via REPRO_FIG5_FULL=1).
+TC_SIZES = (64, 128, 256, 512, 1024)
+PB_SIZES = (0, 32, 128, 256)
+
+
+@pytest.mark.parametrize("benchmark_name", SPEC95_NAMES)
+def test_figure5(benchmark, stream_cache, benchmark_name):
+    """One Figure 5 panel: the miss-rate grid for one benchmark."""
+    points = run_once(benchmark, figure5_sweep, stream_cache,
+                      benchmark_name, TC_SIZES, PB_SIZES)
+    print()
+    print(format_figure5(benchmark_name, points))
+
+    by_key = {(p.tc_entries, p.pb_entries): p.miss_per_ki for p in points}
+    # Sanity of the curves: TC-only miss rate is monotonically
+    # non-increasing in size (allowing small measurement jitter).
+    tc_only = [by_key[(tc, 0)] for tc in TC_SIZES]
+    for small, large in zip(tc_only, tc_only[1:]):
+        assert large <= small * 1.10
+    # Preconstruction reduces misses at the same TC size for the
+    # stressed benchmarks.
+    if benchmark_name in ("gcc", "go", "vortex"):
+        assert by_key[(256, 256)] < by_key[(256, 0)]

@@ -1,0 +1,58 @@
+"""Shared fixtures for the experiment benchmarks.
+
+Each benchmark regenerates one of the paper's tables/figures.  The
+instruction budget is deliberately modest so the full harness runs in
+minutes; scale it up with ``REPRO_BENCH_INSTRUCTIONS`` for tighter
+statistics (the shapes are stable from ~50k instructions up).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.analysis import StreamCache
+
+
+def bench_instructions() -> int:
+    return int(os.environ.get("REPRO_BENCH_INSTRUCTIONS", "60000"))
+
+
+@pytest.fixture(scope="session")
+def stream_cache() -> StreamCache:
+    """Session-wide stream cache: each benchmark's dynamic stream is
+    generated once and replayed across all configurations."""
+    return StreamCache(instructions=bench_instructions())
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing.
+
+    These are whole-experiment reproductions, not microbenchmarks;
+    repeated rounds would only re-measure simulator runtime.
+    """
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)
+
+
+def custom_frontend_point(cache, benchmark_name, *, tc_entries=256,
+                          pb_entries=256, selection=None,
+                          precon_overrides=None):
+    """Frontend run with ablation overrides on the standard config."""
+    from repro.core import PreconstructionConfig
+    from repro.sim import FrontendConfig, run_frontend
+    from repro.trace import SelectionConfig, TraceCacheConfig
+
+    precon = None
+    if pb_entries:
+        precon = PreconstructionConfig(buffer_entries=pb_entries,
+                                       **(precon_overrides or {}))
+    config = FrontendConfig(
+        trace_cache=TraceCacheConfig(entries=tc_entries),
+        preconstruction=precon,
+        selection=selection or SelectionConfig())
+    result = run_frontend(cache.image(benchmark_name), config,
+                          cache.instructions,
+                          stream=cache.stream(benchmark_name))
+    return result

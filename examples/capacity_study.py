@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Capacity study: how should trace storage area be split?
+
+The paper's central design question (Figure 5): given a fixed trace
+storage budget, is it better spent entirely on the trace cache or split
+between the trace cache and preconstruction buffers?  This example
+sweeps the split for one benchmark at several total budgets and prints
+the best division, reproducing the paper's observation that gcc prefers
+a small preconstruction buffer while go profits from a larger one.
+
+Run:  python examples/capacity_study.py [benchmark] [instructions]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.analysis import StreamCache, run_frontend_point
+
+#: (total entries) -> candidate (tc, pb) splits.
+SPLITS = {
+    256: ((256, 0), (192, 64), (128, 128)),
+    512: ((512, 0), (384, 128), (256, 256)),
+    1024: ((1024, 0), (768, 256), (512, 512)),
+}
+
+
+def main() -> None:
+    benchmark = sys.argv[1] if len(sys.argv) > 1 else "go"
+    instructions = int(sys.argv[2]) if len(sys.argv) > 2 else 60_000
+    cache = StreamCache(instructions=instructions)
+    print(f"benchmark={benchmark}, {instructions} instructions")
+    print(f"\n{'total':>6s} {'TC':>6s} {'PB':>6s} {'miss/KI':>9s} "
+          f"{'vs TC-only':>11s}")
+    for total, splits in SPLITS.items():
+        baseline = None
+        best = None
+        for tc, pb in splits:
+            stats = run_frontend_point(cache, benchmark, tc, pb)
+            miss = stats.trace_miss_rate_per_ki
+            if pb == 0:
+                baseline = miss
+            delta = (100 * (miss - baseline) / baseline
+                     if baseline else 0.0)
+            print(f"{total:6d} {tc:6d} {pb:6d} {miss:9.2f} {delta:+10.1f}%")
+            if best is None or miss < best[0]:
+                best = (miss, tc, pb)
+        print(f"       best split for {total} entries: "
+              f"TC={best[1]}, PB={best[2]}\n")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""The extended pipeline model: preconstruction + preprocessing (paper §6).
+
+Runs the full trace-processor timing model in the four Figure 8
+configurations — baseline, preconstruction only, preprocessing only,
+and both — and reports IPC and speedups, demonstrating that the two
+trace-specific mechanisms attack different bottlenecks (instruction
+supply vs execution bandwidth).
+
+Run:  python examples/extended_pipeline.py [benchmark] [instructions]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.analysis import StreamCache, run_processor_point
+
+
+def main() -> None:
+    benchmark = sys.argv[1] if len(sys.argv) > 1 else "vortex"
+    instructions = int(sys.argv[2]) if len(sys.argv) > 2 else 60_000
+    cache = StreamCache(instructions=instructions)
+    print(f"benchmark={benchmark}, {instructions} instructions")
+
+    configs = [
+        ("baseline (TC 256)", dict(tc_entries=256)),
+        ("preconstruction (TC 128 + PB 128)",
+         dict(tc_entries=128, pb_entries=128)),
+        ("preprocessing (TC 256)",
+         dict(tc_entries=256, preprocess=True)),
+        ("both (TC 128 + PB 128)",
+         dict(tc_entries=128, pb_entries=128, preprocess=True)),
+    ]
+    base_cycles = None
+    print(f"\n{'configuration':36s} {'IPC':>7s} {'cycles':>9s} "
+          f"{'miss/KI':>8s} {'speedup':>8s}")
+    for label, kwargs in configs:
+        stats = run_processor_point(cache, benchmark, **kwargs)
+        if base_cycles is None:
+            base_cycles = stats.cycles
+        speedup = 100 * (base_cycles / stats.cycles - 1)
+        print(f"{label:36s} {stats.ipc:7.3f} {stats.cycles:9d} "
+              f"{stats.trace_miss_rate_per_ki:8.2f} {speedup:+7.1f}%")
+
+    print("\nThe mechanisms are complementary: preconstruction raises the")
+    print("peak instruction supply rate, preprocessing raises the rate at")
+    print("which the execution engine consumes it.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Quickstart: measure what trace preconstruction buys on one benchmark.
+
+Builds the synthetic ``gcc`` stand-in workload, runs the trace-processor
+frontend with and without preconstruction at equal total trace storage,
+and prints the paper's headline metric (trace-cache misses per 1000
+instructions) plus the supporting I-cache traffic numbers.
+
+Run:  python examples/quickstart.py [benchmark] [instructions]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.analysis import StreamCache, run_frontend_point
+from repro.workloads import SPEC95_NAMES
+
+
+def main() -> None:
+    benchmark = sys.argv[1] if len(sys.argv) > 1 else "gcc"
+    instructions = int(sys.argv[2]) if len(sys.argv) > 2 else 60_000
+    if benchmark not in SPEC95_NAMES:
+        raise SystemExit(f"unknown benchmark {benchmark!r}; "
+                         f"choose from {', '.join(SPEC95_NAMES)}")
+
+    print(f"benchmark={benchmark}, {instructions} instructions")
+    cache = StreamCache(instructions=instructions)
+
+    print("\nrunning: 512-entry trace cache, no preconstruction ...")
+    base = run_frontend_point(cache, benchmark, tc_entries=512)
+    print("running: 256-entry trace cache + 256-entry preconstruction "
+          "buffer (equal area) ...")
+    precon = run_frontend_point(cache, benchmark, tc_entries=256,
+                                pb_entries=256)
+
+    rows = [
+        ("trace misses / 1000 instr", base.trace_miss_rate_per_ki,
+         precon.trace_miss_rate_per_ki),
+        ("I-cache instr / 1000 instr", base.icache_instructions_per_ki,
+         precon.icache_instructions_per_ki),
+        ("I-cache misses / 1000 instr", base.icache_misses_per_ki,
+         precon.icache_misses_per_ki),
+        ("miss-supplied instr / 1000", base.icache_miss_instructions_per_ki,
+         precon.icache_miss_instructions_per_ki),
+    ]
+    print(f"\n{'metric':30s} {'TC-512':>10s} {'256+256':>10s} {'change':>9s}")
+    for name, a, b in rows:
+        change = 100 * (b - a) / a if a else 0.0
+        print(f"{name:30s} {a:10.2f} {b:10.2f} {change:+8.1f}%")
+    print(f"\npreconstruction-buffer hits: {precon.buffer_hits}")
+    print(f"next-trace predictor accuracy: {precon.ntp_accuracy:.1%}")
+
+
+if __name__ == "__main__":
+    main()

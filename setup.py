@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The offline evaluation environment has no ``wheel`` package, so PEP-660
+editable installs cannot build; this shim lets ``pip install -e .`` fall
+back to the legacy setuptools develop path.  All project metadata lives
+in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

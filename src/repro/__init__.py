@@ -1,0 +1,30 @@
+"""Reproduction of "Trace Preconstruction" (Jacobson & Smith, ISCA 2000).
+
+A from-scratch trace-processor simulation stack:
+
+* :mod:`repro.isa` / :mod:`repro.program` / :mod:`repro.workloads` —
+  a RISC ISA, static program representation, and synthetic SPECint95
+  stand-in workloads;
+* :mod:`repro.engine` — functional execution producing dynamic streams;
+* :mod:`repro.caches` / :mod:`repro.branch` / :mod:`repro.trace` —
+  the memory and prediction substrate plus trace selection/caching;
+* :mod:`repro.core` — **trace preconstruction**, the paper's
+  contribution;
+* :mod:`repro.preprocess` / :mod:`repro.processor` — fill-unit
+  preprocessing and the trace-processor timing model;
+* :mod:`repro.sim` / :mod:`repro.analysis` — simulation drivers and
+  the per-table / per-figure experiment reproductions.
+
+Quickstart::
+
+    from repro.analysis import StreamCache, run_frontend_point
+
+    cache = StreamCache(instructions=50_000)
+    base = run_frontend_point(cache, "gcc", tc_entries=256)
+    pre = run_frontend_point(cache, "gcc", tc_entries=256, pb_entries=256)
+    print(base.trace_miss_rate_per_ki, "->", pre.trace_miss_rate_per_ki)
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,50 @@
+"""Experiment analysis: sweeps, table/figure reproductions, charts."""
+
+from repro.analysis.charts import bar_chart, series_table
+from repro.analysis.figures import (
+    ExtendedPipelineResult,
+    SpeedupResult,
+    figure5_series,
+    figure6,
+    figure8,
+    format_figure5,
+    format_figure6,
+    format_figure8,
+)
+from repro.analysis.sweeps import (
+    FIGURE5_PB_SIZES,
+    FIGURE5_TC_SIZES,
+    Figure5Point,
+    StreamCache,
+    default_instructions,
+    figure5_sweep,
+    frontend_config,
+    processor_config,
+    run_frontend_point,
+    run_processor_point,
+)
+from repro.analysis.results import (
+    ExperimentRecord,
+    ResultSet,
+    record_frontend_stats,
+    record_processor_stats,
+)
+from repro.analysis.tables import (
+    TableRow,
+    TablesResult,
+    compute_tables,
+    format_all_tables,
+    format_table,
+)
+
+__all__ = [
+    "bar_chart", "series_table", "ExtendedPipelineResult", "SpeedupResult",
+    "figure5_series", "figure6", "figure8", "format_figure5",
+    "format_figure6", "format_figure8", "FIGURE5_PB_SIZES",
+    "FIGURE5_TC_SIZES", "Figure5Point", "StreamCache",
+    "default_instructions", "figure5_sweep", "frontend_config",
+    "processor_config", "run_frontend_point", "run_processor_point",
+    "TableRow", "TablesResult", "compute_tables", "format_all_tables",
+    "format_table", "ExperimentRecord", "ResultSet",
+    "record_frontend_stats", "record_processor_stats",
+]

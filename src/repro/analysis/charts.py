@@ -1,0 +1,35 @@
+"""Minimal ASCII chart rendering for terminal experiment reports."""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+
+def bar_chart(values: Mapping[str, float], width: int = 48,
+              unit: str = "", title: str = "") -> str:
+    """Horizontal bar chart; bars scaled to the max value."""
+    if not values:
+        return title
+    peak = max(abs(v) for v in values.values()) or 1.0
+    label_width = max(len(k) for k in values)
+    lines = [title] if title else []
+    for key, value in values.items():
+        bar = "#" * max(0, round(abs(value) / peak * width))
+        lines.append(f"{key:<{label_width}s} | {bar} {value:.2f}{unit}")
+    return "\n".join(lines)
+
+
+def series_table(x_label: str, xs: Sequence, series: Mapping[str, Sequence],
+                 title: str = "", fmt: str = "8.2f") -> str:
+    """Tabular rendering of several y-series over a shared x-axis."""
+    lines = [title] if title else []
+    header = f"{x_label:>10s} " + " ".join(f"{name:>10s}" for name in series)
+    lines.append(header)
+    for i, x in enumerate(xs):
+        row = f"{str(x):>10s} "
+        for name in series:
+            value = series[name][i]
+            row += (f"{value:>10{fmt[1:]}} " if value is not None
+                    else f"{'-':>10s} ")
+        lines.append(row.rstrip())
+    return "\n".join(lines)

@@ -1,0 +1,156 @@
+"""Reproductions of the paper's Figures 5, 6 and 8.
+
+* **Figure 5** — per-benchmark trace-cache miss rate (misses / 1000
+  instructions) as a function of combined trace-cache +
+  preconstruction-buffer size, one curve per PB size.
+* **Figure 6** — overall performance improvement from adding
+  preconstruction, for gcc / go / perl / vortex.
+* **Figure 8** — the extended pipeline model: speedup of
+  preconstruction alone, preprocessing alone, both combined, and the
+  sum of the individual speedups (256-entry TC baseline vs 128 TC +
+  128 PB for the preconstruction configurations).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.charts import bar_chart, series_table
+from repro.analysis.sweeps import (
+    Figure5Point,
+    StreamCache,
+    figure5_sweep,
+    run_processor_point,
+)
+
+SPEEDUP_BENCHMARKS = ("gcc", "go", "perl", "vortex")
+
+
+# ----------------------------------------------------------------------
+# Figure 5
+# ----------------------------------------------------------------------
+def figure5_series(points: list[Figure5Point]
+                   ) -> tuple[list[int], dict[str, list]]:
+    """Reshape sweep points into curves keyed by PB size.
+
+    X axis: combined entries (TC+PB).  Each curve holds the miss rate
+    at the x positions it covers (``None`` elsewhere), mirroring the
+    paper's presentation of miss rate against total area.
+    """
+    xs = sorted({p.total_entries for p in points})
+    curves: dict[str, list] = {}
+    for point in points:
+        name = (f"pb{point.pb_entries}" if point.pb_entries else "tc-only")
+        curve = curves.setdefault(name, [None] * len(xs))
+        curve[xs.index(point.total_entries)] = point.miss_per_ki
+    return xs, curves
+
+
+def format_figure5(benchmark: str, points: list[Figure5Point]) -> str:
+    xs, curves = figure5_series(points)
+    return series_table(
+        "entries", xs, curves,
+        title=(f"Figure 5 [{benchmark}]: trace-cache misses per 1000 "
+               f"instructions vs combined TC+PB entries"))
+
+
+# ----------------------------------------------------------------------
+# Figure 6
+# ----------------------------------------------------------------------
+@dataclass
+class SpeedupResult:
+    benchmark: str
+    base_cycles: int
+    precon_cycles: int
+
+    @property
+    def speedup_percent(self) -> float:
+        return 100.0 * (self.base_cycles / self.precon_cycles - 1.0)
+
+
+def figure6(cache: StreamCache,
+            benchmarks=SPEEDUP_BENCHMARKS,
+            base=(256, 0), precon=(128, 128)) -> list[SpeedupResult]:
+    """Performance improvement from preconstruction (equal area)."""
+    results = []
+    for benchmark in benchmarks:
+        base_stats = run_processor_point(cache, benchmark, *base)
+        pre_stats = run_processor_point(cache, benchmark, *precon)
+        results.append(SpeedupResult(benchmark, base_stats.cycles,
+                                     pre_stats.cycles))
+    return results
+
+
+def format_figure6(results: list[SpeedupResult]) -> str:
+    return bar_chart(
+        {r.benchmark: r.speedup_percent for r in results}, unit="%",
+        title="Figure 6: performance improvement from preconstruction")
+
+
+# ----------------------------------------------------------------------
+# Figure 8
+# ----------------------------------------------------------------------
+@dataclass
+class ExtendedPipelineResult:
+    """The four bars of Figure 8 for one benchmark."""
+
+    benchmark: str
+    base_cycles: int
+    precon_cycles: int
+    preproc_cycles: int
+    combined_cycles: int
+
+    def _speedup(self, cycles: int) -> float:
+        return 100.0 * (self.base_cycles / cycles - 1.0)
+
+    @property
+    def precon_percent(self) -> float:
+        return self._speedup(self.precon_cycles)
+
+    @property
+    def preproc_percent(self) -> float:
+        return self._speedup(self.preproc_cycles)
+
+    @property
+    def combined_percent(self) -> float:
+        return self._speedup(self.combined_cycles)
+
+    @property
+    def sum_percent(self) -> float:
+        return self.precon_percent + self.preproc_percent
+
+    @property
+    def synergy(self) -> float:
+        """Combined minus sum — positive when greater than the parts."""
+        return self.combined_percent - self.sum_percent
+
+
+def figure8(cache: StreamCache,
+            benchmarks=SPEEDUP_BENCHMARKS,
+            base=(256, 0), precon=(128, 128)) -> list[ExtendedPipelineResult]:
+    """The extended pipeline comparison (paper §6)."""
+    results = []
+    for benchmark in benchmarks:
+        base_stats = run_processor_point(cache, benchmark, *base)
+        pre = run_processor_point(cache, benchmark, *precon)
+        prep = run_processor_point(cache, benchmark, *base,
+                                   preprocess=True)
+        both = run_processor_point(cache, benchmark, *precon,
+                                   preprocess=True)
+        results.append(ExtendedPipelineResult(
+            benchmark=benchmark, base_cycles=base_stats.cycles,
+            precon_cycles=pre.cycles, preproc_cycles=prep.cycles,
+            combined_cycles=both.cycles))
+    return results
+
+
+def format_figure8(results: list[ExtendedPipelineResult]) -> str:
+    lines = ["Figure 8: speedup from the extended pipeline model",
+             f"{'bench':10s} {'precon':>8s} {'preproc':>8s} "
+             f"{'combined':>9s} {'sum':>8s} {'synergy':>8s}"]
+    for r in results:
+        lines.append(
+            f"{r.benchmark:10s} {r.precon_percent:+7.1f}% "
+            f"{r.preproc_percent:+7.1f}% {r.combined_percent:+8.1f}% "
+            f"{r.sum_percent:+7.1f}% {r.synergy:+7.1f}%")
+    return "\n".join(lines)

@@ -1,0 +1,88 @@
+"""Experiment result records and JSON serialisation.
+
+Sweep drivers return live stats objects; this module flattens them into
+plain records that can be saved, diffed across runs, and loaded back —
+the artefact trail behind EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Any
+
+SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class ExperimentRecord:
+    """One simulation run's provenance and headline metrics."""
+
+    exhibit: str                # e.g. "figure5", "table1", "figure8"
+    benchmark: str
+    config: dict[str, Any]      # e.g. {"tc": 256, "pb": 128}
+    metrics: dict[str, float]
+    instructions: int
+
+    def to_dict(self) -> dict[str, Any]:
+        return asdict(self)
+
+
+@dataclass
+class ResultSet:
+    """A collection of records for one harness invocation."""
+
+    records: list[ExperimentRecord] = field(default_factory=list)
+
+    def add(self, record: ExperimentRecord) -> None:
+        self.records.append(record)
+
+    def for_exhibit(self, exhibit: str) -> list[ExperimentRecord]:
+        return [r for r in self.records if r.exhibit == exhibit]
+
+    def for_benchmark(self, benchmark: str) -> list[ExperimentRecord]:
+        return [r for r in self.records if r.benchmark == benchmark]
+
+    # ------------------------------------------------------------------
+    def save(self, path: str | Path) -> None:
+        payload = {
+            "schema": SCHEMA_VERSION,
+            "records": [record.to_dict() for record in self.records],
+        }
+        Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True))
+
+    @classmethod
+    def load(cls, path: str | Path) -> "ResultSet":
+        payload = json.loads(Path(path).read_text())
+        if payload.get("schema") != SCHEMA_VERSION:
+            raise ValueError(
+                f"unsupported result schema {payload.get('schema')!r}")
+        records = [ExperimentRecord(**item) for item in payload["records"]]
+        return cls(records=records)
+
+
+def record_frontend_stats(exhibit: str, benchmark: str, tc: int, pb: int,
+                          stats) -> ExperimentRecord:
+    """Flatten a :class:`~repro.sim.FrontendStats` into a record."""
+    return ExperimentRecord(
+        exhibit=exhibit, benchmark=benchmark,
+        config={"tc_entries": tc, "pb_entries": pb},
+        metrics={k: float(v) for k, v in stats.summary().items()},
+        instructions=stats.instructions)
+
+
+def record_processor_stats(exhibit: str, benchmark: str, tc: int, pb: int,
+                           preprocess: bool, stats) -> ExperimentRecord:
+    """Flatten a :class:`~repro.processor.ProcessorStats` into a record."""
+    return ExperimentRecord(
+        exhibit=exhibit, benchmark=benchmark,
+        config={"tc_entries": tc, "pb_entries": pb,
+                "preprocess": preprocess},
+        metrics={
+            "cycles": float(stats.cycles),
+            "ipc": stats.ipc,
+            "trace_misses_per_ki": stats.trace_miss_rate_per_ki,
+            "buffer_hits": float(stats.buffer_hits),
+        },
+        instructions=stats.instructions)

@@ -1,0 +1,132 @@
+"""Sweep orchestration: run the simulators over benchmark x config grids.
+
+All experiment drivers share a :class:`StreamCache` so each benchmark's
+dynamic stream is generated once per process (the trace-driven design
+makes frontend runs cheap to repeat across cache configurations).
+
+The default instruction budget scales the paper's 200M-instruction runs
+down ~2000x alongside the ~30x smaller code footprints; override via
+the ``REPRO_INSTRUCTIONS`` environment variable.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.core import PreconstructionConfig
+from repro.engine import FunctionalEngine, StreamRecord
+from repro.preprocess import PreprocessConfig
+from repro.processor import (
+    BackendConfig,
+    ProcessorConfig,
+    ProcessorStats,
+    run_processor,
+)
+from repro.sim import FrontendConfig, FrontendStats, run_frontend
+from repro.trace import TraceCacheConfig
+from repro.workloads import build_workload
+
+
+def default_instructions() -> int:
+    """Per-run instruction budget (env-overridable)."""
+    return int(os.environ.get("REPRO_INSTRUCTIONS", "100000"))
+
+
+class StreamCache:
+    """Generate-once cache of benchmark dynamic streams."""
+
+    def __init__(self, instructions: Optional[int] = None) -> None:
+        self.instructions = instructions or default_instructions()
+        self._streams: dict[str, list[StreamRecord]] = {}
+        self._images = {}
+
+    def image(self, benchmark: str):
+        if benchmark not in self._images:
+            self._images[benchmark] = build_workload(benchmark).image
+        return self._images[benchmark]
+
+    def stream(self, benchmark: str) -> list[StreamRecord]:
+        if benchmark not in self._streams:
+            engine = FunctionalEngine(self.image(benchmark))
+            self._streams[benchmark] = engine.run(self.instructions)
+        return self._streams[benchmark]
+
+
+def frontend_config(tc_entries: int, pb_entries: int = 0) -> FrontendConfig:
+    """Standard frontend configuration for a TC/PB size point."""
+    precon = (PreconstructionConfig(buffer_entries=pb_entries)
+              if pb_entries else None)
+    return FrontendConfig(trace_cache=TraceCacheConfig(entries=tc_entries),
+                          preconstruction=precon)
+
+
+def run_frontend_point(cache: StreamCache, benchmark: str,
+                       tc_entries: int, pb_entries: int = 0
+                       ) -> FrontendStats:
+    """One frontend simulation at a (benchmark, TC, PB) point."""
+    result = run_frontend(cache.image(benchmark),
+                          frontend_config(tc_entries, pb_entries),
+                          cache.instructions,
+                          stream=cache.stream(benchmark))
+    return result.stats
+
+
+def processor_config(tc_entries: int, pb_entries: int = 0,
+                     preprocess: bool = False) -> ProcessorConfig:
+    """Standard full-processor configuration for Figures 6/8."""
+    return ProcessorConfig(
+        frontend=frontend_config(tc_entries, pb_entries),
+        backend=BackendConfig(),
+        preprocess=PreprocessConfig() if preprocess else None)
+
+
+def run_processor_point(cache: StreamCache, benchmark: str,
+                        tc_entries: int, pb_entries: int = 0,
+                        preprocess: bool = False) -> ProcessorStats:
+    """One full-processor simulation at a configuration point."""
+    result = run_processor(cache.image(benchmark),
+                           processor_config(tc_entries, pb_entries,
+                                            preprocess),
+                           cache.instructions,
+                           stream=cache.stream(benchmark))
+    return result.stats
+
+
+@dataclass
+class Figure5Point:
+    """One point of the Figure 5 curves."""
+
+    benchmark: str
+    tc_entries: int
+    pb_entries: int
+    miss_per_ki: float
+
+    @property
+    def total_entries(self) -> int:
+        return self.tc_entries + self.pb_entries
+
+    @property
+    def total_kbytes(self) -> float:
+        return self.total_entries * 64 / 1024
+
+
+#: Paper §4.1 sweep ranges: TC 64..1024 entries, PB 32..256 entries.
+FIGURE5_TC_SIZES = (64, 128, 256, 512, 1024)
+FIGURE5_PB_SIZES = (0, 32, 128, 256)
+
+
+def figure5_sweep(cache: StreamCache, benchmark: str,
+                  tc_sizes: Iterable[int] = FIGURE5_TC_SIZES,
+                  pb_sizes: Iterable[int] = FIGURE5_PB_SIZES
+                  ) -> list[Figure5Point]:
+    """Miss-rate grid for one benchmark (the Figure 5 panel data)."""
+    points = []
+    for tc in tc_sizes:
+        for pb in pb_sizes:
+            stats = run_frontend_point(cache, benchmark, tc, pb)
+            points.append(Figure5Point(
+                benchmark=benchmark, tc_entries=tc, pb_entries=pb,
+                miss_per_ki=stats.trace_miss_rate_per_ki))
+    return points

@@ -1,0 +1,14 @@
+"""Branch and next-trace prediction substrate."""
+
+from repro.branch.bimodal import Bias, BimodalPredictor
+from repro.branch.history import PathHistory, fold_ids
+from repro.branch.nexttrace import (
+    NextTracePredictor,
+    NextTracePredictorConfig,
+)
+from repro.branch.ras import ReturnAddressStack
+
+__all__ = [
+    "Bias", "BimodalPredictor", "PathHistory", "fold_ids",
+    "NextTracePredictor", "NextTracePredictorConfig", "ReturnAddressStack",
+]

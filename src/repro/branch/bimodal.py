@@ -1,0 +1,91 @@
+"""Bimodal branch predictor: a table of 2-bit saturating counters.
+
+This is the paper's slow-path conditional-branch predictor ("We assume
+a bimodal branch predictor (table of 2-bit saturating counters indexed
+by branch address)" — J.E. Smith, ISCA 1981).  It serves double duty:
+
+* the slow-path fetch unit uses :meth:`predict` / :meth:`update`;
+* the preconstruction engine reads :meth:`bias` to follow only the
+  dominant direction of *strongly* biased branches while exploring a
+  region (§2.1).
+
+Counter states: 0 strongly not-taken, 1 weakly not-taken, 2 weakly
+taken, 3 strongly taken.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+
+class Bias(enum.Enum):
+    """Preconstruction-visible branch bias classes."""
+
+    STRONG_TAKEN = "strong_taken"
+    STRONG_NOT_TAKEN = "strong_not_taken"
+    WEAK = "weak"
+
+
+class BimodalPredictor:
+    """2-bit saturating counter table indexed by branch address."""
+
+    STRONG_NT, WEAK_NT, WEAK_T, STRONG_T = 0, 1, 2, 3
+
+    def __init__(self, entries: int = 4096, initial: int = 1) -> None:
+        if entries <= 0 or entries & (entries - 1):
+            raise ValueError("entries must be a positive power of two")
+        if not 0 <= initial <= 3:
+            raise ValueError("initial counter must be in 0..3")
+        self._mask = entries - 1
+        self._table = [initial] * entries
+        self.entries = entries
+        self.predictions = 0
+        self.mispredictions = 0
+
+    # ------------------------------------------------------------------
+    def _index(self, pc: int) -> int:
+        return (pc >> 2) & self._mask
+
+    def counter(self, pc: int) -> int:
+        """Raw 2-bit counter value for the branch at ``pc``."""
+        return self._table[self._index(pc)]
+
+    # ------------------------------------------------------------------
+    def predict(self, pc: int) -> bool:
+        """Predict taken/not-taken (counts as a prediction)."""
+        self.predictions += 1
+        return self._table[self._index(pc)] >= 2
+
+    def peek(self, pc: int) -> bool:
+        """Direction the counter currently favours, without accounting."""
+        return self._table[self._index(pc)] >= 2
+
+    def update(self, pc: int, taken: bool, predicted: Optional[bool] = None
+               ) -> None:
+        """Train on the outcome; optionally record mispredict accounting."""
+        index = self._index(pc)
+        value = self._table[index]
+        if taken:
+            if value < 3:
+                self._table[index] = value + 1
+        else:
+            if value > 0:
+                self._table[index] = value - 1
+        if predicted is not None and predicted != taken:
+            self.mispredictions += 1
+
+    # ------------------------------------------------------------------
+    def bias(self, pc: int) -> Bias:
+        """Bias class used by the preconstruction path-pruning heuristic."""
+        value = self._table[self._index(pc)]
+        if value == self.STRONG_T:
+            return Bias.STRONG_TAKEN
+        if value == self.STRONG_NT:
+            return Bias.STRONG_NOT_TAKEN
+        return Bias.WEAK
+
+    @property
+    def misprediction_rate(self) -> float:
+        return (self.mispredictions / self.predictions
+                if self.predictions else 0.0)

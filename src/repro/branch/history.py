@@ -1,0 +1,66 @@
+"""Path-history state for the next-trace predictor.
+
+The predictor of Jacobson, Rotenberg & Smith (MICRO 1997) indexes its
+table with a hash of the identities of the last several traces (the
+*path*).  :class:`PathHistory` keeps that bounded sequence and provides
+a deterministic fold-down hash.  It is snapshot-able because the Return
+History Stack saves and restores path history across procedure
+calls/returns.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Hashable, Iterable
+
+_MASK32 = 0xFFFF_FFFF
+
+
+def fold_ids(ids: Iterable[Hashable]) -> int:
+    """Deterministically fold a sequence of trace identities to 32 bits.
+
+    Rotate-and-xor so that the same set of ids in a different order
+    hashes differently (path order matters to the predictor).
+    """
+    acc = 0x9E37_79B9
+    for item in ids:
+        h = hash(item) & _MASK32
+        acc = (((acc << 7) | (acc >> 25)) ^ h) & _MASK32
+    return acc
+
+
+class PathHistory:
+    """Bounded most-recent-last sequence of trace identities."""
+
+    def __init__(self, depth: int = 4,
+                 initial: Iterable[Hashable] = ()) -> None:
+        if depth <= 0:
+            raise ValueError("depth must be positive")
+        self.depth = depth
+        self._ids: deque[Hashable] = deque(initial, maxlen=depth)
+
+    def append(self, trace_id: Hashable) -> None:
+        self._ids.append(trace_id)
+
+    def ids(self) -> tuple[Hashable, ...]:
+        return tuple(self._ids)
+
+    def hash(self, length: int | None = None) -> int:
+        """Hash of the last ``length`` ids (default: full depth)."""
+        ids = self.ids()
+        if length is not None:
+            ids = ids[-length:]
+        return fold_ids(ids)
+
+    def snapshot(self) -> tuple[Hashable, ...]:
+        """State capture for the Return History Stack."""
+        return self.ids()
+
+    def restore(self, snapshot: tuple[Hashable, ...]) -> None:
+        self._ids = deque(snapshot, maxlen=self.depth)
+
+    def clear(self) -> None:
+        self._ids.clear()
+
+    def __len__(self) -> int:
+        return len(self._ids)

@@ -1,0 +1,43 @@
+"""Return-address stack for the slow-path fetch unit.
+
+A bounded hardware stack: calls push their return point, returns pop a
+predicted target.  Overflow wraps (oldest entry lost), underflow
+returns ``None`` — both behaviours of a real circular RAS.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class ReturnAddressStack:
+    """Bounded circular return-address predictor stack."""
+
+    def __init__(self, depth: int = 32) -> None:
+        if depth <= 0:
+            raise ValueError("depth must be positive")
+        self.depth = depth
+        self._entries: list[int] = []
+        self.overflows = 0
+        self.underflows = 0
+
+    def push(self, return_address: int) -> None:
+        if len(self._entries) >= self.depth:
+            self._entries.pop(0)  # overwrite the oldest
+            self.overflows += 1
+        self._entries.append(return_address)
+
+    def pop(self) -> Optional[int]:
+        if not self._entries:
+            self.underflows += 1
+            return None
+        return self._entries.pop()
+
+    def peek(self) -> Optional[int]:
+        return self._entries[-1] if self._entries else None
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear(self) -> None:
+        self._entries.clear()

@@ -1,0 +1,121 @@
+"""Data cache timing model (paper §4.1).
+
+"We model a four ported level-one data cache of which any single
+processing element can only access two ports per cycle.  The data cache
+is non-blocking and is write-back.  [64-byte lines, 4-way, 64 KB],
+two cycle hit latency, and the level-two cache has ten cycle hit
+latency."
+
+The model is timing-only: tag state determines hit/miss, ports
+arbitrate per cycle, and misses fill from the perfect L2.  Write-back
+is modelled as dirty-bit accounting (writebacks count traffic but — L2
+being perfect — add no extra stall to the requester).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.caches.setassoc import SetAssociativeCache
+
+
+@dataclass(frozen=True)
+class DCacheConfig:
+    size_bytes: int = 64 * 1024
+    ways: int = 4
+    line_bytes: int = 64
+    hit_latency: int = 2
+    miss_latency: int = 10        # perfect L2 hit
+    ports: int = 4                # total ports per cycle
+    ports_per_pe: int = 2
+
+    @property
+    def num_sets(self) -> int:
+        sets, rem = divmod(self.size_bytes, self.ways * self.line_bytes)
+        if rem or sets <= 0:
+            raise ValueError("dcache geometry does not divide evenly")
+        return sets
+
+
+@dataclass
+class DCacheStats:
+    loads: int = 0
+    stores: int = 0
+    load_misses: int = 0
+    store_misses: int = 0
+    writebacks: int = 0
+    port_stall_cycles: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.loads + self.stores
+
+    @property
+    def misses(self) -> int:
+        return self.load_misses + self.store_misses
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+
+class DataCache:
+    """Timing-only L1 data cache with per-cycle port arbitration."""
+
+    def __init__(self, config: DCacheConfig | None = None) -> None:
+        self.config = config or DCacheConfig()
+        line = self.config.line_bytes
+        # Payload is the dirty bit.
+        self._lines: SetAssociativeCache[int, bool] = SetAssociativeCache(
+            num_sets=self.config.num_sets, ways=self.config.ways,
+            index_fn=lambda addr: addr // line)
+        self._port_load: Counter = Counter()
+        self._pe_port_load: Counter = Counter()
+        self.stats = DCacheStats()
+
+    # ------------------------------------------------------------------
+    def line_address(self, addr: int) -> int:
+        return addr - (addr % self.config.line_bytes)
+
+    def _allocate_port(self, cycle: int, pe: int) -> int:
+        """First cycle >= ``cycle`` with a free port for ``pe``."""
+        config = self.config
+        start = cycle
+        while (self._port_load[cycle] >= config.ports
+               or self._pe_port_load[(pe, cycle)] >= config.ports_per_pe):
+            cycle += 1
+        self._port_load[cycle] += 1
+        self._pe_port_load[(pe, cycle)] += 1
+        self.stats.port_stall_cycles += cycle - start
+        return cycle
+
+    # ------------------------------------------------------------------
+    def access(self, addr: int, is_store: bool, cycle: int,
+               pe: int = 0) -> int:
+        """Access the cache at ``cycle`` from ``pe``.
+
+        Returns the completion latency relative to ``cycle`` (including
+        any port-arbitration delay).  Misses fill the line; a dirty
+        eviction counts a writeback.
+        """
+        config = self.config
+        issue = self._allocate_port(cycle, pe)
+        line = self.line_address(addr)
+        hit = self._lines.lookup(line) is not None
+        if is_store:
+            self.stats.stores += 1
+        else:
+            self.stats.loads += 1
+        if hit:
+            if is_store:
+                self._lines.insert(line, True)  # set dirty
+            return (issue - cycle) + config.hit_latency
+        if is_store:
+            self.stats.store_misses += 1
+        else:
+            self.stats.load_misses += 1
+        evicted = self._lines.insert(line, is_store)
+        if evicted is not None and evicted[1]:
+            self.stats.writebacks += 1
+        return (issue - cycle) + config.miss_latency

@@ -1,0 +1,23 @@
+"""Perfect second-level cache, per the paper's memory model.
+
+"We model realistic level-one caches and a perfect level-two cache...
+the level-two cache has ten cycle hit latency."  Every access hits; the
+model only supplies latency and a traffic count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class PerfectL2:
+    """Always-hit L2 with fixed latency."""
+
+    hit_latency: int = 10
+    accesses: int = field(default=0, init=False)
+
+    def access(self) -> int:
+        """Record one access; returns the latency in cycles."""
+        self.accesses += 1
+        return self.hit_latency

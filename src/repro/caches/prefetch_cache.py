@@ -1,0 +1,63 @@
+"""Prefetch caches that decouple I-cache fetch from trace construction.
+
+Paper, §3.3.1: each of the four prefetch caches holds 256 instructions,
+is fully associative, and is allowed to *fill up* — lines are never
+replaced; when the cache is full, preconstruction for its associated
+region terminates.  This is one of the two resource bounds on a
+region's preconstruction effort (the other is preconstruction-buffer
+availability).
+"""
+
+from __future__ import annotations
+
+from repro.isa import INSTRUCTION_BYTES
+
+
+class PrefetchCache:
+    """A fill-up instruction store for one preconstruction region."""
+
+    def __init__(self, capacity_instructions: int = 256,
+                 line_bytes: int = 64) -> None:
+        if capacity_instructions <= 0:
+            raise ValueError("capacity must be positive")
+        line_instructions = line_bytes // INSTRUCTION_BYTES
+        if capacity_instructions % line_instructions:
+            raise ValueError("capacity must be a whole number of lines")
+        self.capacity_lines = capacity_instructions // line_instructions
+        self.line_bytes = line_bytes
+        self._lines: set[int] = set()
+
+    # ------------------------------------------------------------------
+    def line_address(self, pc: int) -> int:
+        return pc - (pc % self.line_bytes)
+
+    def contains(self, pc: int) -> bool:
+        return self.line_address(pc) in self._lines
+
+    @property
+    def full(self) -> bool:
+        return len(self._lines) >= self.capacity_lines
+
+    @property
+    def occupancy_lines(self) -> int:
+        return len(self._lines)
+
+    # ------------------------------------------------------------------
+    def add_line(self, pc: int) -> bool:
+        """Record the line containing ``pc``.
+
+        Returns ``False`` when the cache is already full and the line is
+        absent — the signal that the region has hit its fetch bound.
+        Adding an already-present line always succeeds (no growth).
+        """
+        line = self.line_address(pc)
+        if line in self._lines:
+            return True
+        if self.full:
+            return False
+        self._lines.add(line)
+        return True
+
+    def reset(self) -> None:
+        """Empty the cache for reuse by a new region."""
+        self._lines.clear()

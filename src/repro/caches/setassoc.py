@@ -1,0 +1,148 @@
+"""Generic set-associative cache keyed by arbitrary hashable tags.
+
+Used directly by the instruction cache (keys are line addresses) and by
+the trace cache / preconstruction buffers (keys are trace identities).
+The index function is pluggable so trace structures can index by a hash
+of start address and branch outcomes, as the paper describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Generic, Hashable, Iterator, Optional, TypeVar
+
+from repro.caches.replacement import LRU, ReplacementPolicy
+
+K = TypeVar("K", bound=Hashable)
+V = TypeVar("V")
+
+
+@dataclass
+class CacheStats:
+    """Access counters maintained by :class:`SetAssociativeCache`."""
+
+    accesses: int = 0
+    hits: int = 0
+    misses: int = 0
+    fills: int = 0
+    evictions: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+
+class _Line(Generic[K, V]):
+    __slots__ = ("valid", "key", "value")
+
+    def __init__(self) -> None:
+        self.valid = False
+        self.key: Optional[K] = None
+        self.value: Optional[V] = None
+
+
+class SetAssociativeCache(Generic[K, V]):
+    """A set-associative store of key -> value with replacement.
+
+    ``index_fn`` maps a key to its set index (any int; reduced modulo
+    the set count).  The default hashes the key, which is appropriate
+    for trace identities; address-based caches pass an explicit
+    line-index function.
+    """
+
+    def __init__(self, num_sets: int, ways: int,
+                 index_fn: Optional[Callable[[K], int]] = None,
+                 policy: Optional[ReplacementPolicy] = None) -> None:
+        if num_sets <= 0 or ways <= 0:
+            raise ValueError("num_sets and ways must be positive")
+        self.num_sets = num_sets
+        self.ways = ways
+        self._index_fn = index_fn if index_fn is not None else hash
+        self.policy = policy if policy is not None else LRU(num_sets, ways)
+        if (self.policy.num_sets, self.policy.ways) != (num_sets, ways):
+            raise ValueError("policy geometry does not match cache geometry")
+        self._sets = [[_Line() for _ in range(ways)] for _ in range(num_sets)]
+        self.stats = CacheStats()
+
+    # ------------------------------------------------------------------
+    @property
+    def capacity(self) -> int:
+        return self.num_sets * self.ways
+
+    def set_index(self, key: K) -> int:
+        return self._index_fn(key) % self.num_sets
+
+    # ------------------------------------------------------------------
+    def lookup(self, key: K) -> Optional[V]:
+        """Probe for ``key``; counts the access and updates recency."""
+        self.stats.accesses += 1
+        set_index = self.set_index(key)
+        for way, line in enumerate(self._sets[set_index]):
+            if line.valid and line.key == key:
+                self.stats.hits += 1
+                self.policy.on_access(set_index, way)
+                return line.value
+        self.stats.misses += 1
+        return None
+
+    def peek(self, key: K) -> Optional[V]:
+        """Probe without touching counters or recency (for dedup checks)."""
+        for line in self._sets[self.set_index(key)]:
+            if line.valid and line.key == key:
+                return line.value
+        return None
+
+    def __contains__(self, key: K) -> bool:
+        return self.peek(key) is not None
+
+    # ------------------------------------------------------------------
+    def insert(self, key: K, value: V) -> Optional[tuple[K, V]]:
+        """Install ``key`` -> ``value``; returns the evicted pair, if any.
+
+        Inserting an existing key overwrites it in place.
+        """
+        set_index = self.set_index(key)
+        ways = self._sets[set_index]
+        for way, line in enumerate(ways):
+            if line.valid and line.key == key:
+                line.value = value
+                self.policy.on_fill(set_index, way)
+                return None
+        for way, line in enumerate(ways):
+            if not line.valid:
+                line.valid, line.key, line.value = True, key, value
+                self.policy.on_fill(set_index, way)
+                self.stats.fills += 1
+                return None
+        way = self.policy.victim(set_index)
+        line = ways[way]
+        evicted = (line.key, line.value)
+        line.key, line.value = key, value
+        self.policy.on_fill(set_index, way)
+        self.stats.fills += 1
+        self.stats.evictions += 1
+        return evicted  # type: ignore[return-value]
+
+    def invalidate(self, key: K) -> bool:
+        """Drop ``key`` if present; returns whether it was present."""
+        for line in self._sets[self.set_index(key)]:
+            if line.valid and line.key == key:
+                line.valid, line.key, line.value = False, None, None
+                return True
+        return False
+
+    def clear(self) -> None:
+        for ways in self._sets:
+            for line in ways:
+                line.valid, line.key, line.value = False, None, None
+
+    # ------------------------------------------------------------------
+    def items(self) -> Iterator[tuple[K, V]]:
+        """Yield all resident (key, value) pairs."""
+        for ways in self._sets:
+            for line in ways:
+                if line.valid:
+                    yield line.key, line.value  # type: ignore[misc]
+
+    def occupancy(self) -> int:
+        return sum(1 for _ in self.items())

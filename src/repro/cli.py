@@ -1,0 +1,118 @@
+"""Command-line interface: regenerate the paper's exhibits.
+
+Usage::
+
+    python -m repro list
+    python -m repro point gcc --tc 256 --pb 256
+    python -m repro figure5 --benchmarks gcc go --instructions 60000
+    python -m repro tables
+    python -m repro figure6
+    python -m repro figure8
+    python -m repro dynamic --benchmarks gcc go
+
+Each command prints the corresponding table/figure in the layout used
+by EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.analysis import (
+    StreamCache,
+    compute_tables,
+    figure5_sweep,
+    figure6,
+    figure8,
+    format_all_tables,
+    format_figure5,
+    format_figure6,
+    format_figure8,
+    frontend_config,
+    run_frontend_point,
+)
+from repro.sim import run_dynamic_frontend, run_frontend
+from repro.workloads import SPEC95_NAMES
+
+
+def _parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Trace Preconstruction (ISCA 2000) reproduction")
+    parser.add_argument("--instructions", type=int, default=60_000,
+                        help="instruction budget per simulation run")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the SPECint95 stand-in benchmarks")
+
+    point = sub.add_parser("point", help="one frontend configuration point")
+    point.add_argument("benchmark", choices=SPEC95_NAMES)
+    point.add_argument("--tc", type=int, default=256,
+                       help="trace cache entries")
+    point.add_argument("--pb", type=int, default=0,
+                       help="preconstruction buffer entries (0 = none)")
+
+    for name, helptext in (
+            ("figure5", "miss rate vs combined TC+PB size"),
+            ("tables", "Tables 1-3: I-cache traffic"),
+            ("figure6", "speedup from preconstruction"),
+            ("figure8", "extended pipeline speedups"),
+            ("dynamic", "dynamic-partition extension experiment")):
+        cmd = sub.add_parser(name, help=helptext)
+        if name in ("figure5", "dynamic"):
+            cmd.add_argument("--benchmarks", nargs="+",
+                             choices=SPEC95_NAMES,
+                             default=list(SPEC95_NAMES)
+                             if name == "figure5" else ["gcc", "go"])
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = _parser().parse_args(argv)
+    if args.command == "list":
+        for name in SPEC95_NAMES:
+            print(name)
+        return 0
+
+    cache = StreamCache(instructions=args.instructions)
+    if args.command == "point":
+        stats = run_frontend_point(cache, args.benchmark, args.tc, args.pb)
+        for key, value in stats.summary().items():
+            print(f"{key:32s} {value:12.3f}")
+        return 0
+    if args.command == "figure5":
+        for benchmark in args.benchmarks:
+            points = figure5_sweep(cache, benchmark)
+            print(format_figure5(benchmark, points))
+            print()
+        return 0
+    if args.command == "tables":
+        print(format_all_tables(compute_tables(cache)))
+        return 0
+    if args.command == "figure6":
+        print(format_figure6(figure6(cache)))
+        return 0
+    if args.command == "figure8":
+        print(format_figure8(figure8(cache)))
+        return 0
+    if args.command == "dynamic":
+        for benchmark in args.benchmarks:
+            image = cache.image(benchmark)
+            stream = cache.stream(benchmark)
+            static = run_frontend(image, frontend_config(384, 128),
+                                  len(stream), stream=stream)
+            dynamic, events = run_dynamic_frontend(
+                image, frontend_config(384, 128), stream)
+            print(f"{benchmark}: static(384+128)="
+                  f"{static.stats.trace_miss_rate_per_ki:.2f} miss/KI, "
+                  f"dynamic={dynamic.stats.trace_miss_rate_per_ki:.2f} "
+                  f"miss/KI, trajectory="
+                  f"{[event.pb_entries for event in events]}")
+        return 0
+    return 1  # pragma: no cover - argparse enforces choices
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,29 @@
+"""Trace preconstruction — the paper's core contribution.
+
+The engine observes the dispatch stream for region cues (procedure
+calls and loop back edges), jumps ahead of the processor, fetches
+static instructions through fill-up prefetch caches, and constructs
+likely future traces into preconstruction buffers that are probed in
+parallel with the trace cache.
+"""
+
+from repro.core.engine import (
+    PreconstructionConfig,
+    PreconstructionEngine,
+    PreconstructionStats,
+)
+from repro.core.precon_buffers import PreconBufferStats, PreconstructionBuffers
+from repro.core.preconstructor import (
+    ConstructorConfig,
+    StepResult,
+    TraceConstructor,
+)
+from repro.core.region import Region, RegionState, StartPoint
+from repro.core.start_stack import StartPointStack
+
+__all__ = [
+    "PreconstructionConfig", "PreconstructionEngine", "PreconstructionStats",
+    "PreconBufferStats", "PreconstructionBuffers", "ConstructorConfig",
+    "StepResult", "TraceConstructor", "Region", "RegionState", "StartPoint",
+    "StartPointStack",
+]

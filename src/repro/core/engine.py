@@ -1,0 +1,312 @@
+"""The trace preconstruction engine (the paper's core contribution).
+
+Orchestrates everything in §2-§3:
+
+* **Dispatch monitoring** — scans every dispatched trace for the two
+  region cues: a call pushes the return point (the instruction after
+  the call), a taken backward branch pushes the loop fall-through
+  (exit) point.  Start points the processor reaches are removed.
+* **Region management** — when one of the four prefetch caches is
+  free, the newest start point is popped from the start-point stack and
+  becomes a new region (unless that region completed recently).
+  Regions are abandoned when the processor catches up to their code.
+* **Construction scheduling** — four constructors take start points
+  from the highest-priority active region's worklist and are metered
+  by the processor's *idle* slow-path cycles: each idle cycle funds one
+  decode step per constructor, and line fetches serialise on the single
+  shared I-cache port.
+* **Buffer management** — completed traces are deduplicated against
+  the trace cache and the preconstruction buffers before allocation;
+  an allocation failure (set full of same-region traces) bounds the
+  region's effort.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.branch import BimodalPredictor
+from repro.caches import InstructionCache, PrefetchCache
+from repro.core.precon_buffers import PreconstructionBuffers
+from repro.core.preconstructor import (
+    ConstructorConfig,
+    StepResult,
+    TraceConstructor,
+)
+from repro.core.region import Region, StartPoint
+from repro.core.start_stack import StartPointStack
+from repro.isa import INSTRUCTION_BYTES
+from repro.program import ProgramImage
+from repro.trace import SelectionConfig, Trace, TraceCache, TraceID
+
+
+@dataclass(frozen=True)
+class PreconstructionConfig:
+    """Hardware parameters of the preconstruction mechanism (§3, §4.1)."""
+
+    buffer_entries: int = 256
+    buffer_ways: int = 2
+    num_constructors: int = 4
+    num_prefetch_caches: int = 4
+    prefetch_cache_instructions: int = 256
+    start_stack_depth: int = 16
+    completed_memory: int = 4
+    buffer_failure_limit: int = 1
+    max_start_points_per_region: int = 64
+    stack_order: str = "newest_first"
+    constructor: ConstructorConfig = field(default_factory=ConstructorConfig)
+
+    def __post_init__(self) -> None:
+        if self.stack_order not in ("newest_first", "oldest_first"):
+            raise ValueError(f"unknown stack_order {self.stack_order!r}")
+
+
+@dataclass
+class PreconstructionStats:
+    """Engine-level accounting."""
+
+    regions_started: int = 0
+    regions_completed: int = 0
+    regions_abandoned: int = 0
+    regions_fetch_bound: int = 0
+    regions_buffer_bound: int = 0
+    traces_constructed: int = 0
+    traces_duplicate: int = 0
+    buffer_hits: int = 0
+    idle_cycles_offered: int = 0
+    decode_steps: int = 0
+    port_cycles_used: int = 0
+
+
+class PreconstructionEngine:
+    """Preconstruction mechanism attached to a trace-processor frontend."""
+
+    def __init__(self, image: ProgramImage, icache: InstructionCache,
+                 bimodal: BimodalPredictor, trace_cache: TraceCache,
+                 config: PreconstructionConfig | None = None,
+                 selection: SelectionConfig | None = None) -> None:
+        self.image = image
+        self.icache = icache
+        self.bimodal = bimodal
+        self.trace_cache = trace_cache
+        self.config = config or PreconstructionConfig()
+        self.selection = selection or SelectionConfig()
+        cfg = self.config
+
+        self.stack = StartPointStack(depth=cfg.start_stack_depth,
+                                     completed_memory=cfg.completed_memory)
+        self.buffers = PreconstructionBuffers(
+            entries=cfg.buffer_entries, ways=cfg.buffer_ways,
+            priority_fn=self._region_priority)
+        self._free_prefetch: list[PrefetchCache] = [
+            PrefetchCache(cfg.prefetch_cache_instructions)
+            for _ in range(cfg.num_prefetch_caches)]
+        self.constructors = [
+            TraceConstructor(image, icache, bimodal, self.selection,
+                             cfg.constructor)
+            for _ in range(cfg.num_constructors)]
+        self._active_regions: list[Region] = []
+        self._regions_by_seq: dict[int, Region] = {}
+        self._next_seq = 0
+        self.stats = PreconstructionStats()
+
+    # ------------------------------------------------------------------
+    # Region priority seen by the buffer replacement policy.
+    # ------------------------------------------------------------------
+    def _region_priority(self, seq: int) -> tuple[int, int]:
+        region = self._regions_by_seq.get(seq)
+        if region is not None and region.active:
+            return (1, seq)
+        return (0, seq)
+
+    # ------------------------------------------------------------------
+    # Frontend-facing probe: buffers are accessed in parallel with the
+    # trace cache; a hit is promoted into the trace cache.
+    # ------------------------------------------------------------------
+    def probe_and_promote(self, trace_id: TraceID) -> Optional[Trace]:
+        """Probe the preconstruction buffers; on a hit, move the trace
+        into the primary trace cache and invalidate the buffer entry."""
+        trace = self.buffers.probe(trace_id)
+        if trace is None:
+            return None
+        self.buffers.take(trace_id)
+        self.trace_cache.insert(trace)
+        self.stats.buffer_hits += 1
+        return trace
+
+    # ------------------------------------------------------------------
+    # Dispatch-stream observation (§3.2).
+    # ------------------------------------------------------------------
+    def observe_dispatch(self, trace: Trace) -> None:
+        """Scan one dispatched trace for start-point cues and catch-up."""
+        outcome_index = 0
+        outcomes = trace.trace_id.outcomes
+        for pc, inst in zip(trace.pcs, trace.instructions):
+            # Processor reached a pending start point: drop it.
+            if pc in self.stack:
+                self.stack.remove_reached(pc)
+            if inst.is_call:
+                self.stack.push(pc + INSTRUCTION_BYTES)
+            elif inst.is_conditional_branch:
+                taken = outcomes[outcome_index]
+                outcome_index += 1
+                if taken and inst.is_backward_branch():
+                    self.stack.push(pc + INSTRUCTION_BYTES)
+        self._check_catch_up(trace)
+
+    def _check_catch_up(self, trace: Trace) -> None:
+        """Abandon any active region the processor has reached.
+
+        "Reached" means the dispatch stream actually arrived at the
+        region's start point — not merely that it touched a cache line
+        the region happens to share (a loop body and its exit point
+        usually share a line, and the whole point of a loop-exit region
+        is to be built *while* the processor is still iterating).
+        """
+        if not self._active_regions:
+            return
+        pcs = set(trace.pcs)
+        for region in list(self._active_regions):
+            if region.start_pc in pcs:
+                self._finish_region(region, abandoned=True)
+
+    # ------------------------------------------------------------------
+    # Work metering (§3.3): idle slow-path cycles fund construction.
+    # ------------------------------------------------------------------
+    def tick(self, idle_cycles: int) -> None:
+        """Advance preconstruction by ``idle_cycles`` of slow-path idleness.
+
+        Each idle cycle funds one decode step per constructor (they run
+        in parallel); line fetches serialise on the shared I-cache port,
+        which can move one line per ``latency`` cycles.
+        """
+        if idle_cycles <= 0:
+            return
+        self.stats.idle_cycles_offered += idle_cycles
+        port_budget = idle_cycles
+        decode_budget = idle_cycles * len(self.constructors)
+        while decode_budget > 0:
+            self._spawn_regions()
+            self._assign_constructors()
+            busy = [c for c in self.constructors if c.busy]
+            if not busy:
+                break
+            progressed = False
+            for constructor in busy:
+                if decode_budget <= 0:
+                    break
+                if not constructor.busy:
+                    continue  # released mid-round (its region finished)
+                if constructor.needs_line_fetch() and port_budget <= 0:
+                    continue  # stalled on the I-cache port
+                result = constructor.step()
+                decode_budget -= result.decode_cost
+                port_budget -= result.port_cost
+                self.stats.decode_steps += result.decode_cost
+                self.stats.port_cycles_used += result.port_cost
+                self._handle_step(constructor, result)
+                progressed = True
+            if not progressed:
+                break
+
+    # ------------------------------------------------------------------
+    def _spawn_regions(self) -> None:
+        """Turn the newest start points into regions while caches are free."""
+        newest_first = self.config.stack_order == "newest_first"
+        while self._free_prefetch and len(self.stack):
+            start_pc = (self.stack.pop_newest() if newest_first
+                        else self.stack.pop_oldest())
+            if start_pc is None:
+                break
+            if self.stack.recently_completed(start_pc):
+                continue
+            if any(r.start_pc == start_pc for r in self._active_regions):
+                continue
+            cache = self._free_prefetch.pop()
+            cache.reset()
+            region = Region(
+                seq=self._next_seq, start_pc=start_pc, prefetch_cache=cache,
+                max_start_points=self.config.max_start_points_per_region)
+            self._next_seq += 1
+            self._active_regions.append(region)
+            self._regions_by_seq[region.seq] = region
+            self.stats.regions_started += 1
+
+    def _assign_constructors(self) -> None:
+        """Hand free constructors start points, highest-priority region
+        first ("it takes a new trace start point from the highest
+        priority worklist")."""
+        idle = [c for c in self.constructors if not c.busy]
+        if not idle:
+            return
+        for region in sorted(self._active_regions,
+                             key=Region.priority_key, reverse=True):
+            while idle and not region.worklist_empty:
+                point = region.pop_start_point()
+                if point is None:
+                    break
+                idle.pop().assign(region, point)
+            if not idle:
+                break
+        self._reap_regions()
+
+    def _handle_step(self, constructor: TraceConstructor,
+                     result: StepResult) -> None:
+        region = constructor.region
+        if result.completed is not None:
+            self._install(region, result.completed)
+        if result.new_start_point is not None and region.active:
+            region.push_start_point(result.new_start_point)
+        if result.region_fetch_bound:
+            region.fetch_bound_hit = True
+            self.stats.regions_fetch_bound += 1
+            self._finish_region(region)
+        if result.finished or not region.active:
+            constructor.release()
+
+    def _install(self, region: Region, trace: Trace) -> None:
+        """Dedup then allocate a preconstruction buffer for ``trace``."""
+        region.traces_built += 1
+        self.stats.traces_constructed += 1
+        if (self.trace_cache.contains(trace.trace_id)
+                or self.buffers.contains(trace.trace_id)):
+            self.stats.traces_duplicate += 1
+            return
+        if not self.buffers.insert(trace, region.seq):
+            region.buffer_failures += 1
+            if region.buffer_failures >= self.config.buffer_failure_limit:
+                self.stats.regions_buffer_bound += 1
+                self._finish_region(region)
+
+    def _finish_region(self, region: Region, abandoned: bool = False) -> None:
+        """Retire a region, releasing its prefetch cache and constructors."""
+        if not region.active:
+            return
+        if abandoned:
+            region.abandon()
+            self.stats.regions_abandoned += 1
+        else:
+            region.complete()
+            self.stack.mark_completed(region.start_pc)
+            self.stats.regions_completed += 1
+        for constructor in self.constructors:
+            if constructor.region is region:
+                constructor.release()
+        self._active_regions.remove(region)
+        self._free_prefetch.append(region.prefetch_cache)
+
+    def _reap_regions(self) -> None:
+        """Complete regions whose work is exhausted."""
+        for region in list(self._active_regions):
+            if region.worklist_empty and not any(
+                    c.region is region for c in self.constructors):
+                self._finish_region(region)
+
+    # ------------------------------------------------------------------
+    @property
+    def active_region_count(self) -> int:
+        return len(self._active_regions)
+
+    def active_regions(self) -> tuple[Region, ...]:
+        return tuple(self._active_regions)

@@ -1,0 +1,282 @@
+"""Trace constructors: walk static code and build candidate traces.
+
+Implements the paper's §3.4 algorithm.  A constructor is assigned a
+trace start point from a region's worklist and then:
+
+* fetches and decodes static instructions (through the region's
+  prefetch cache, falling back to the shared I-cache port);
+* follows strongly-biased conditional branches only in their dominant
+  direction, consulting the slow-path bimodal predictor's counters;
+* at a weakly-biased branch, follows the not-taken path first and
+  pushes the decision point onto a small internal stack; after a trace
+  completes it pops the stack and re-walks the alternative direction;
+* follows direct calls (remembering the return point on an internal
+  call stack so the matching return is resolvable), and terminates the
+  path at register-indirect transfers whose target is unknown;
+* delimits traces with the *same* :class:`TraceBuilder` rules as the
+  processor, so preconstructed traces align with demand traces.
+
+The constructor is incremental: :meth:`step` performs one instruction's
+worth of work and reports its decode/port cost, so the engine can meter
+progress against the processor's idle slow-path cycles.
+
+A correctness invariant enforced here: the constructor never emits a
+*partial* trace.  A trace identity is (start PC, branch outcomes), so a
+trace cut short by a resource bound would collide with the properly
+delimited trace the processor will later ask for; partial work is
+always discarded instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.branch import Bias, BimodalPredictor
+from repro.caches import InstructionCache
+from repro.core.region import Region, StartPoint
+from repro.isa import INSTRUCTION_BYTES, Instruction, Kind
+from repro.program import ProgramImage
+from repro.trace import SelectionConfig, Trace, TraceBuilder
+
+
+@dataclass(frozen=True)
+class ConstructorConfig:
+    """Bounds and policies for one constructor's work per start point.
+
+    ``branch_policy`` selects the path-pruning heuristic at conditional
+    branches (an ablation axis for the paper's §2.1 heuristic):
+
+    * ``"biased"`` (the paper): follow strongly-biased branches in their
+      dominant direction only; fork both ways at weak branches;
+    * ``"both"``: fork at every branch (no pruning);
+    * ``"taken"`` / ``"not_taken"``: static single-direction policies.
+    """
+
+    max_decision_depth: int = 4
+    max_traces_per_start: int = 8
+    max_walk_instructions: int = 96
+    max_call_depth: int = 8
+    branch_policy: str = "biased"
+
+    def __post_init__(self) -> None:
+        if self.branch_policy not in ("biased", "both", "taken",
+                                      "not_taken"):
+            raise ValueError(f"unknown branch_policy "
+                             f"{self.branch_policy!r}")
+
+
+@dataclass
+class StepResult:
+    """Outcome of one constructor step."""
+
+    decode_cost: int = 1
+    port_cost: int = 0
+    icache_missed: bool = False
+    completed: Optional[Trace] = None
+    new_start_point: Optional[StartPoint] = None
+    finished: bool = False            # start point fully explored
+    region_fetch_bound: bool = False  # prefetch cache filled up
+
+
+@dataclass
+class _DecisionPoint:
+    """Saved walk state at a weakly-biased branch (not-taken explored
+    first; this snapshot resumes the taken direction)."""
+
+    entries: list
+    entry_stacks: list
+    pc: int                # the branch pc itself
+    taken_target: int
+    call_stack: tuple[int, ...]
+    walked: int
+
+
+class TraceConstructor:
+    """One of the (four) parallel trace construction units."""
+
+    def __init__(self, image: ProgramImage, icache: InstructionCache,
+                 bimodal: BimodalPredictor,
+                 selection: SelectionConfig | None = None,
+                 config: ConstructorConfig | None = None) -> None:
+        self.image = image
+        self.icache = icache
+        self.bimodal = bimodal
+        self.selection = selection or SelectionConfig()
+        self.config = config or ConstructorConfig()
+        self.region: Optional[Region] = None
+        self._builder = TraceBuilder(self.selection)
+        # Call-stack state *after* each buffered entry, aligned with the
+        # builder's buffer; needed to restart correctly after truncation.
+        self._entry_stacks: list[tuple[int, ...]] = []
+        self._pc: Optional[int] = None
+        self._call_stack: tuple[int, ...] = ()
+        self._decisions: list[_DecisionPoint] = []
+        self._traces_emitted = 0
+        self._walked = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def busy(self) -> bool:
+        return self.region is not None
+
+    def assign(self, region: Region, start: StartPoint) -> None:
+        """Begin exploring ``start`` on behalf of ``region``."""
+        if self.busy:
+            raise RuntimeError("constructor already assigned")
+        self.region = region
+        self._pc = start.pc
+        self._call_stack = start.call_stack
+        self._reset_buffer()
+        self._decisions.clear()
+        self._traces_emitted = 0
+        self._walked = 0
+
+    def release(self) -> None:
+        self.region = None
+        self._pc = None
+        self._reset_buffer()
+        self._decisions.clear()
+
+    def needs_line_fetch(self) -> bool:
+        """Will the next step consume the shared I-cache port?"""
+        return (self.busy and self._pc is not None
+                and not self.region.prefetch_cache.contains(self._pc))
+
+    # ------------------------------------------------------------------
+    def step(self) -> StepResult:
+        """Perform one instruction's worth of construction work."""
+        if not self.busy:
+            raise RuntimeError("step on idle constructor")
+        if self._pc is None:
+            return self._backtrack_or_finish()
+        if self._walked >= self.config.max_walk_instructions:
+            self._reset_buffer()  # never emit a partial trace
+            self._pc = None
+            return self._backtrack_or_finish()
+
+        result = StepResult()
+        pc = self._pc
+
+        # Fetch through the prefetch cache; a fresh line uses the port.
+        if not self.region.prefetch_cache.contains(pc):
+            if not self.region.prefetch_cache.add_line(pc):
+                self._reset_buffer()
+                self._pc = None
+                result.finished = True
+                result.region_fetch_bound = True
+                return result
+            latency, missed = self.icache.fetch_line(pc, "preconstruct")
+            result.port_cost = latency
+            result.icache_missed = missed
+
+        inst = self.image.try_fetch(pc)
+        if inst is None or inst.kind is Kind.HALT:
+            self._reset_buffer()
+            self._pc = None
+            return result
+
+        taken, next_pc, path_ends = self._advance(pc, inst)
+        self._walked += 1
+        self._append_entry(pc, inst, taken,
+                           next_pc if next_pc is not None else 0, result)
+        if result.completed is not None:
+            self._pc = None
+            return result
+        self._pc = None if path_ends else next_pc
+        return result
+
+    # ------------------------------------------------------------------
+    def _append_entry(self, pc: int, inst: Instruction, taken: bool,
+                      record_next: int, result: StepResult) -> None:
+        """Feed one entry to the builder, handling trace completion."""
+        completed = self._builder.add(pc, inst, taken, record_next)
+        self._entry_stacks.append(self._call_stack)
+        if completed is None:
+            return
+        self._traces_emitted += 1
+        result.completed = completed
+        cut = len(completed)
+        if completed.next_pc:
+            result.new_start_point = StartPoint(
+                pc=completed.next_pc,
+                call_stack=self._entry_stacks[cut - 1])
+        self._reset_buffer()  # drop any truncation leftover
+        if self._traces_emitted >= self.config.max_traces_per_start:
+            self._decisions.clear()
+            result.finished = True
+
+    def _reset_buffer(self) -> None:
+        self._builder.reset()
+        self._entry_stacks.clear()
+
+    # ------------------------------------------------------------------
+    def _backtrack_or_finish(self) -> StepResult:
+        """Resume a saved decision point, or report the start point done."""
+        result = StepResult(decode_cost=1)
+        if (self._decisions
+                and self._traces_emitted < self.config.max_traces_per_start):
+            point = self._decisions.pop()
+            self._builder.restore_entries(point.entries)
+            self._entry_stacks = list(point.entry_stacks)
+            self._call_stack = point.call_stack
+            self._walked = point.walked + 1
+            inst = self.image.fetch(point.pc)
+            self._append_entry(point.pc, inst, True, point.taken_target,
+                               result)
+            self._pc = (None if result.completed is not None
+                        else point.taken_target)
+            return result
+        result.finished = True
+        return result
+
+    # ------------------------------------------------------------------
+    def _advance(self, pc: int, inst: Instruction
+                 ) -> tuple[bool, Optional[int], bool]:
+        """Decide (taken, next_pc, path_ends) for the walked instruction.
+
+        Mutates the call stack for calls and resolved returns, so the
+        post-instruction stack snapshot taken by the caller is correct.
+        """
+        fall = pc + INSTRUCTION_BYTES
+        kind = inst.kind
+        if kind is Kind.BRANCH:
+            policy = self.config.branch_policy
+            if policy == "taken":
+                return True, pc + inst.imm, False
+            if policy == "not_taken":
+                return False, fall, False
+            if policy == "biased":
+                bias = self.bimodal.bias(pc)
+                if bias is Bias.STRONG_TAKEN:
+                    return True, pc + inst.imm, False
+                if bias is Bias.STRONG_NOT_TAKEN:
+                    return False, fall, False
+            # Weakly biased (or policy "both"): not-taken first,
+            # remember the taken path.
+            if len(self._decisions) < self.config.max_decision_depth:
+                self._decisions.append(_DecisionPoint(
+                    entries=self._builder.snapshot_entries(),
+                    entry_stacks=list(self._entry_stacks),
+                    pc=pc,
+                    taken_target=pc + inst.imm,
+                    call_stack=self._call_stack,
+                    walked=self._walked,
+                ))
+            return False, fall, False
+        if kind is Kind.JUMP:
+            return False, inst.imm, False
+        if kind is Kind.CALL:
+            if len(self._call_stack) >= self.config.max_call_depth:
+                return False, None, True  # too deep; end the path
+            self._call_stack = self._call_stack + (fall,)
+            return False, inst.imm, False
+        if kind is Kind.JUMP_INDIRECT:
+            if inst.is_return and self._call_stack:
+                target = self._call_stack[-1]
+                self._call_stack = self._call_stack[:-1]
+                return False, target, False
+            return False, None, True  # statically opaque target
+        if kind is Kind.CALL_INDIRECT:
+            return False, None, True
+        return False, fall, False

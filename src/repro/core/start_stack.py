@@ -1,0 +1,96 @@
+"""The region start-point stack (paper §3.2).
+
+Potential region start points — return points of observed calls and
+fall-through (exit) points of observed backward branches — are kept in
+a small hardware stack so that the *newest* start point is taken first.
+Because of loop and subroutine nesting, newest-first order tends to
+preconstruct the regions the processor will reach soonest.
+
+Behaviours from the paper:
+
+* depth-16 stack; when full, the **oldest** entry is discarded;
+* a new start point is not pushed when it matches the current top
+  (avoids re-pushing the same region every loop iteration);
+* entries are removed when the processor reaches them (catch-up) or on
+  misspeculation;
+* a few extra entries (four) remember the most recently *completed*
+  regions, and preconstruction is not re-initiated for those.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional
+
+
+class StartPointStack:
+    """Bounded LIFO of region start points plus completed-region memory."""
+
+    def __init__(self, depth: int = 16, completed_memory: int = 4) -> None:
+        if depth <= 0:
+            raise ValueError("depth must be positive")
+        self.depth = depth
+        self._stack: list[int] = []          # oldest first, newest last
+        self._completed: deque[int] = deque(maxlen=max(0, completed_memory))
+        self.pushes = 0
+        self.duplicate_suppressed = 0
+        self.overflow_discards = 0
+
+    # ------------------------------------------------------------------
+    def push(self, start_pc: int) -> bool:
+        """Record a potential region start point.
+
+        Returns ``True`` if the point was actually pushed (not a
+        duplicate of the current top, not a recently completed region).
+        """
+        if self._stack and self._stack[-1] == start_pc:
+            self.duplicate_suppressed += 1
+            return False
+        if start_pc in self._completed:
+            self.duplicate_suppressed += 1
+            return False
+        if len(self._stack) >= self.depth:
+            self._stack.pop(0)  # discard the oldest
+            self.overflow_discards += 1
+        self._stack.append(start_pc)
+        self.pushes += 1
+        return True
+
+    def pop_newest(self) -> Optional[int]:
+        """Take the highest-priority (newest) start point."""
+        return self._stack.pop() if self._stack else None
+
+    def pop_oldest(self) -> Optional[int]:
+        """FIFO pop (ablation alternative to the paper's newest-first)."""
+        return self._stack.pop(0) if self._stack else None
+
+    def peek_newest(self) -> Optional[int]:
+        return self._stack[-1] if self._stack else None
+
+    # ------------------------------------------------------------------
+    def remove_reached(self, pc: int) -> bool:
+        """Drop a start point the processor's execution has reached."""
+        try:
+            self._stack.remove(pc)
+            return True
+        except ValueError:
+            return False
+
+    def mark_completed(self, start_pc: int) -> None:
+        """Remember a region whose preconstruction finished."""
+        if self._completed.maxlen:
+            self._completed.append(start_pc)
+
+    def recently_completed(self, start_pc: int) -> bool:
+        return start_pc in self._completed
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._stack)
+
+    def __contains__(self, start_pc: int) -> bool:
+        return start_pc in self._stack
+
+    def entries(self) -> tuple[int, ...]:
+        """Stack contents, oldest first (for tests/diagnostics)."""
+        return tuple(self._stack)

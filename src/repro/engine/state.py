@@ -1,0 +1,49 @@
+"""Architected state: register file and data memory.
+
+Values are 32-bit two's-complement words.  Memory is word-addressed
+(sparse dict keyed by byte address, addresses forced to word
+alignment), initialised from the program image's data segment.
+"""
+
+from __future__ import annotations
+
+from repro.isa import NUM_REGISTERS, ZERO
+
+_MASK = 0xFFFF_FFFF
+
+
+def to_signed(value: int) -> int:
+    """Interpret the low 32 bits of ``value`` as two's complement."""
+    value &= _MASK
+    return value - 0x1_0000_0000 if value & 0x8000_0000 else value
+
+
+def to_unsigned(value: int) -> int:
+    """Truncate ``value`` to a 32-bit unsigned word."""
+    return value & _MASK
+
+
+class ArchState:
+    """Register file plus data memory."""
+
+    __slots__ = ("regs", "memory")
+
+    def __init__(self, initial_data: dict[int, int] | None = None) -> None:
+        self.regs = [0] * NUM_REGISTERS
+        self.memory: dict[int, int] = {}
+        if initial_data:
+            for addr, value in initial_data.items():
+                self.store(addr, value)
+
+    def read(self, reg: int) -> int:
+        return self.regs[reg]
+
+    def write(self, reg: int, value: int) -> None:
+        if reg != ZERO:
+            self.regs[reg] = to_unsigned(value)
+
+    def load(self, addr: int) -> int:
+        return self.memory.get(addr & ~3, 0)
+
+    def store(self, addr: int, value: int) -> None:
+        self.memory[addr & ~3] = to_unsigned(value)

@@ -1,0 +1,37 @@
+"""Dynamic instruction stream records.
+
+The functional engine emits one :class:`StreamRecord` per executed
+instruction.  The record carries everything downstream consumers need:
+the trace-selection FSM uses (pc, inst, next_pc); the bimodal predictor
+trains on (pc, taken); the preconstruction monitor watches for calls
+and backward branches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.isa import Instruction
+
+
+@dataclass(frozen=True, slots=True)
+class StreamRecord:
+    """One dynamic instruction instance.
+
+    ``taken`` is meaningful only for conditional branches (False
+    otherwise).  ``next_pc`` is the address of the dynamically next
+    instruction — the branch/jump target when control transfers, the
+    fall-through otherwise.  ``mem_addr`` is the effective address of a
+    load/store (0 for non-memory instructions); the data-cache timing
+    model replays it.
+    """
+
+    pc: int
+    inst: Instruction
+    taken: bool
+    next_pc: int
+    mem_addr: int = 0
+
+    @property
+    def is_control(self) -> bool:
+        return self.inst.is_control

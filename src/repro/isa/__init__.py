@@ -1,0 +1,34 @@
+"""Instruction-set architecture for the reproduction.
+
+A SimpleScalar-flavoured load/store RISC ISA: 32 integer registers,
+4-byte instructions, direct conditional branches (PC-relative), direct
+jumps/calls (absolute), and register-indirect jumps/calls that the
+preconstruction engine treats as statically opaque.
+"""
+
+from repro.isa.asm import AsmError, assemble, disassemble
+from repro.isa.instructions import (
+    INSTRUCTION_BYTES,
+    Instruction,
+    format_instruction,
+    halt,
+    nop,
+    ret,
+)
+from repro.isa.opcodes import Kind, OpInfo, Opcode, info
+from repro.isa.registers import (
+    FP,
+    NUM_REGISTERS,
+    RA,
+    SP,
+    ZERO,
+    parse_register,
+    register_name,
+)
+
+__all__ = [
+    "INSTRUCTION_BYTES", "Instruction", "format_instruction", "halt", "nop",
+    "ret", "Kind", "OpInfo", "Opcode", "info", "FP", "NUM_REGISTERS", "RA",
+    "SP", "ZERO", "parse_register", "register_name", "AsmError", "assemble",
+    "disassemble",
+]

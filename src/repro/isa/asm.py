@@ -1,0 +1,150 @@
+"""A small two-pass assembler / disassembler for the repro ISA.
+
+The assembler exists for tests and examples: it lets control-flow
+shapes be written legibly instead of hand-computing immediates.
+
+Syntax (one instruction or label per line, ``#`` comments)::
+
+    loop:
+        addi r1, r1, 1
+        blt  r1, r2, loop      # branch targets may be labels
+        jal  helper            # call targets may be labels
+        jr   ra
+    helper:
+        add  r3, r1, r2
+        jr   ra
+
+Labels used as branch targets assemble to PC-relative immediates;
+labels used as ``j``/``jal`` targets assemble to absolute addresses.
+``assemble`` returns a list of :class:`Instruction` plus the label map.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable
+
+from repro.isa.instructions import INSTRUCTION_BYTES, Instruction
+from repro.isa.opcodes import Kind, Opcode, info
+from repro.isa.registers import parse_register
+
+_LABEL_RE = re.compile(r"^([A-Za-z_][A-Za-z0-9_]*):$")
+_MEM_RE = re.compile(r"^(-?\d+)\((\S+)\)$")
+
+
+class AsmError(ValueError):
+    """Raised for malformed assembly input."""
+
+
+def _split_operands(rest: str) -> list[str]:
+    return [tok.strip() for tok in rest.split(",") if tok.strip()]
+
+
+def _imm_or_label(token: str, labels: dict[str, int], pc: int,
+                  relative: bool) -> int:
+    try:
+        return int(token, 0)
+    except ValueError:
+        pass
+    if token not in labels:
+        raise AsmError(f"undefined label: {token!r}")
+    target = labels[token]
+    return target - pc if relative else target
+
+
+def assemble(source: str, base: int = 0) -> tuple[list[Instruction], dict[str, int]]:
+    """Assemble ``source`` starting at byte address ``base``.
+
+    Returns ``(instructions, labels)`` where ``labels`` maps each label
+    to its byte address.
+    """
+    lines = []
+    for raw in source.splitlines():
+        line = raw.split("#", 1)[0].strip()
+        if line:
+            lines.append(line)
+
+    # Pass 1: assign addresses to labels.
+    labels: dict[str, int] = {}
+    pc = base
+    bodies: list[tuple[int, str]] = []
+    for line in lines:
+        match = _LABEL_RE.match(line)
+        if match:
+            labels[match.group(1)] = pc
+            continue
+        bodies.append((pc, line))
+        pc += INSTRUCTION_BYTES
+
+    # Pass 2: encode.
+    instructions = [_parse_line(line, pc, labels) for pc, line in bodies]
+    return instructions, labels
+
+
+def _parse_line(line: str, pc: int, labels: dict[str, int]) -> Instruction:
+    parts = line.split(None, 1)
+    mnemonic = parts[0].lower()
+    rest = parts[1] if len(parts) > 1 else ""
+    try:
+        op = Opcode(mnemonic)
+    except ValueError as exc:
+        raise AsmError(f"unknown mnemonic {mnemonic!r} in {line!r}") from exc
+    ops = _split_operands(rest)
+    kind = info(op).kind
+
+    if op in (Opcode.NOP, Opcode.HALT):
+        return Instruction(op)
+    if kind is Kind.BRANCH:
+        if len(ops) != 3:
+            raise AsmError(f"branch needs 3 operands: {line!r}")
+        return Instruction(op, rs1=parse_register(ops[0]),
+                           rs2=parse_register(ops[1]),
+                           imm=_imm_or_label(ops[2], labels, pc, relative=True))
+    if kind in (Kind.JUMP, Kind.CALL):
+        if len(ops) != 1:
+            raise AsmError(f"{mnemonic} needs 1 operand: {line!r}")
+        return Instruction(op, imm=_imm_or_label(ops[0], labels, pc,
+                                                 relative=False))
+    if kind is Kind.CALL_INDIRECT:
+        if len(ops) != 2:
+            raise AsmError(f"jalr needs 2 operands: {line!r}")
+        return Instruction(op, rd=parse_register(ops[0]),
+                           rs1=parse_register(ops[1]))
+    if kind is Kind.JUMP_INDIRECT:
+        if len(ops) != 1:
+            raise AsmError(f"jr needs 1 operand: {line!r}")
+        return Instruction(op, rs1=parse_register(ops[0]))
+    if op is Opcode.LW:
+        mem = _MEM_RE.match(ops[1])
+        if len(ops) != 2 or not mem:
+            raise AsmError(f"lw needs 'rd, imm(rs1)': {line!r}")
+        return Instruction(op, rd=parse_register(ops[0]),
+                           rs1=parse_register(mem.group(2)),
+                           imm=int(mem.group(1)))
+    if op is Opcode.SW:
+        mem = _MEM_RE.match(ops[1])
+        if len(ops) != 2 or not mem:
+            raise AsmError(f"sw needs 'rs2, imm(rs1)': {line!r}")
+        return Instruction(op, rs2=parse_register(ops[0]),
+                           rs1=parse_register(mem.group(2)),
+                           imm=int(mem.group(1)))
+    if op is Opcode.LUI:
+        if len(ops) != 2:
+            raise AsmError(f"lui needs 2 operands: {line!r}")
+        return Instruction(op, rd=parse_register(ops[0]), imm=int(ops[1], 0))
+    if op is Opcode.SADD:
+        raise AsmError("sadd is produced only by preprocessing, not assembly")
+
+    # Generic ALU: rd, rs1, rs2  or  rd, rs1, imm
+    if len(ops) != 3:
+        raise AsmError(f"{mnemonic} needs 3 operands: {line!r}")
+    rd = parse_register(ops[0])
+    rs1 = parse_register(ops[1])
+    if info(op).reads_rs2:
+        return Instruction(op, rd=rd, rs1=rs1, rs2=parse_register(ops[2]))
+    return Instruction(op, rd=rd, rs1=rs1, imm=int(ops[2], 0))
+
+
+def disassemble(instructions: Iterable[Instruction]) -> str:
+    """Render instructions one per line in assembly syntax."""
+    return "\n".join(str(inst) for inst in instructions)

@@ -1,0 +1,191 @@
+"""The :class:`Instruction` container and its control-flow helpers.
+
+Instructions are immutable dataclasses.  The program image assigns each
+instruction a byte address (PC); instructions are 4 bytes, so sequential
+execution advances the PC by :data:`INSTRUCTION_BYTES`.
+
+Control-flow target conventions:
+
+* Conditional branches (``BEQ``/``BNE``/``BLT``/``BGE``) are PC-relative:
+  the taken target is ``pc + imm``.  A *backward branch* (``imm < 0``)
+  is the loop-closing cue the preconstruction engine watches for.
+* ``J`` and ``JAL`` carry an absolute target in ``imm``.
+* ``JR`` / ``JALR`` take their target from ``rs1`` and are statically
+  unresolvable; ``JR ra`` is the idiomatic procedure return
+  (:meth:`Instruction.is_return`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from repro.isa.opcodes import (
+    CONTROL_KINDS,
+    DIRECT_CONTROL_KINDS,
+    INDIRECT_CONTROL_KINDS,
+    Kind,
+    Opcode,
+    info,
+)
+from repro.isa.registers import RA, ZERO, register_name
+
+INSTRUCTION_BYTES = 4
+"""Size of one instruction in bytes (PC stride)."""
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One decoded instruction.
+
+    ``sh1``/``sh2`` are only meaningful for the fused :data:`Opcode.SADD`
+    operation produced by the preprocessing pass (left-shift amounts for
+    the two register operands).
+    """
+
+    op: Opcode
+    rd: int = 0
+    rs1: int = 0
+    rs2: int = 0
+    imm: int = 0
+    sh1: int = 0
+    sh2: int = 0
+
+    # ------------------------------------------------------------------
+    # Classification helpers
+    # ------------------------------------------------------------------
+    @property
+    def kind(self) -> Kind:
+        return info(self.op).kind
+
+    @property
+    def latency(self) -> int:
+        return info(self.op).latency
+
+    @property
+    def is_control(self) -> bool:
+        """True for any instruction that may redirect the PC."""
+        return self.kind in CONTROL_KINDS
+
+    @property
+    def is_conditional_branch(self) -> bool:
+        return self.kind is Kind.BRANCH
+
+    @property
+    def is_call(self) -> bool:
+        """True for direct and indirect calls (they push a return point)."""
+        return self.kind in (Kind.CALL, Kind.CALL_INDIRECT)
+
+    @property
+    def is_return(self) -> bool:
+        """True for ``JR ra`` — the idiomatic procedure return."""
+        return self.op is Opcode.JR and self.rs1 == RA
+
+    @property
+    def is_indirect(self) -> bool:
+        """True when the target comes from a register (statically opaque)."""
+        return self.kind in INDIRECT_CONTROL_KINDS
+
+    @property
+    def is_direct_control(self) -> bool:
+        return self.kind in DIRECT_CONTROL_KINDS
+
+    # ------------------------------------------------------------------
+    # Target computation
+    # ------------------------------------------------------------------
+    def is_backward_branch(self) -> bool:
+        """True for a conditional branch whose taken target precedes it."""
+        return self.is_conditional_branch and self.imm < 0
+
+    def taken_target(self, pc: int) -> Optional[int]:
+        """Static taken-path target, or ``None`` when register-indirect."""
+        if self.is_conditional_branch:
+            return pc + self.imm
+        if self.kind in (Kind.JUMP, Kind.CALL):
+            return self.imm
+        if self.is_indirect:
+            return None
+        return None
+
+    def fall_through(self, pc: int) -> int:
+        """Address of the sequentially next instruction."""
+        return pc + INSTRUCTION_BYTES
+
+    # ------------------------------------------------------------------
+    # Register usage (for dependence analysis / renaming)
+    # ------------------------------------------------------------------
+    def source_registers(self) -> tuple[int, ...]:
+        """Architectural registers read, with the hardwired zero removed."""
+        meta = info(self.op)
+        sources = []
+        if meta.reads_rs1 and self.rs1 != ZERO:
+            sources.append(self.rs1)
+        if meta.reads_rs2 and self.rs2 != ZERO:
+            sources.append(self.rs2)
+        return tuple(sources)
+
+    def destination_register(self) -> Optional[int]:
+        """Architectural register written, or ``None`` (writes to r0 discard)."""
+        meta = info(self.op)
+        if meta.writes_rd and self.rd != ZERO:
+            return self.rd
+        return None
+
+    # ------------------------------------------------------------------
+    # Rewriting (used by preprocessing passes)
+    # ------------------------------------------------------------------
+    def with_fields(self, **changes) -> "Instruction":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **changes)
+
+    # ------------------------------------------------------------------
+    # Display
+    # ------------------------------------------------------------------
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return format_instruction(self)
+
+
+def format_instruction(inst: Instruction) -> str:
+    """Render ``inst`` in assembly syntax (round-trips through the asm parser)."""
+    op = inst.op
+    n = register_name
+    if op in (Opcode.NOP, Opcode.HALT):
+        return op.value
+    if op is Opcode.SADD:
+        return (f"sadd {n(inst.rd)}, {n(inst.rs1)}<<{inst.sh1}, "
+                f"{n(inst.rs2)}<<{inst.sh2}, {inst.imm}")
+    kind = inst.kind
+    if kind is Kind.BRANCH:
+        return f"{op.value} {n(inst.rs1)}, {n(inst.rs2)}, {inst.imm}"
+    if kind is Kind.JUMP:
+        return f"j {inst.imm}"
+    if kind is Kind.CALL:
+        return f"jal {inst.imm}"
+    if kind is Kind.CALL_INDIRECT:
+        return f"jalr {n(inst.rd)}, {n(inst.rs1)}"
+    if kind is Kind.JUMP_INDIRECT:
+        return f"jr {n(inst.rs1)}"
+    if op is Opcode.LW:
+        return f"lw {n(inst.rd)}, {inst.imm}({n(inst.rs1)})"
+    if op is Opcode.SW:
+        return f"sw {n(inst.rs2)}, {inst.imm}({n(inst.rs1)})"
+    if op is Opcode.LUI:
+        return f"lui {n(inst.rd)}, {inst.imm}"
+    meta = info(op)
+    if meta.reads_rs2:
+        return f"{op.value} {n(inst.rd)}, {n(inst.rs1)}, {n(inst.rs2)}"
+    return f"{op.value} {n(inst.rd)}, {n(inst.rs1)}, {inst.imm}"
+
+
+# Convenience constructors used heavily by the generator and tests.
+def nop() -> Instruction:
+    return Instruction(Opcode.NOP)
+
+
+def halt() -> Instruction:
+    return Instruction(Opcode.HALT)
+
+
+def ret() -> Instruction:
+    """``JR ra`` — procedure return."""
+    return Instruction(Opcode.JR, rs1=RA)

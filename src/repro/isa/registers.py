@@ -1,0 +1,66 @@
+"""Architectural register definitions for the repro RISC ISA.
+
+The ISA models a 32-entry integer register file in the style of the
+SimpleScalar PISA / MIPS conventions used by the paper's simulator:
+
+* ``r0`` is hardwired to zero — writes are discarded.
+* ``r29`` is the stack pointer by software convention.
+* ``r31`` is the link register written by ``JAL``/``JALR`` and read by
+  ``RET`` (which is an alias for ``JR r31``).
+
+Registers are plain integers ``0..31`` throughout the code base; this
+module provides the named constants and validation helpers.
+"""
+
+from __future__ import annotations
+
+NUM_REGISTERS = 32
+
+ZERO = 0
+"""Hardwired zero register."""
+
+SP = 29
+"""Stack pointer (software convention)."""
+
+FP = 30
+"""Frame pointer (software convention)."""
+
+RA = 31
+"""Return-address / link register, written by call instructions."""
+
+#: Registers that the workload generator treats as scratch (caller-saved).
+SCRATCH_REGISTERS = tuple(range(1, 26))
+
+#: Human-readable names, index by register number.
+REGISTER_NAMES = tuple(
+    {ZERO: "zero", SP: "sp", FP: "fp", RA: "ra"}.get(i, f"r{i}")
+    for i in range(NUM_REGISTERS)
+)
+
+_NAME_TO_NUMBER = {name: i for i, name in enumerate(REGISTER_NAMES)}
+_NAME_TO_NUMBER.update({f"r{i}": i for i in range(NUM_REGISTERS)})
+
+
+def register_name(reg: int) -> str:
+    """Return the canonical assembly name for register number ``reg``."""
+    check_register(reg)
+    return REGISTER_NAMES[reg]
+
+
+def parse_register(text: str) -> int:
+    """Parse an assembly register token (``r7``, ``$7``, ``ra``...).
+
+    Raises ``ValueError`` for unknown tokens.
+    """
+    token = text.strip().lower().lstrip("$")
+    if token in _NAME_TO_NUMBER:
+        return _NAME_TO_NUMBER[token]
+    if token.isdigit() and int(token) < NUM_REGISTERS:
+        return int(token)
+    raise ValueError(f"unknown register: {text!r}")
+
+
+def check_register(reg: int) -> None:
+    """Validate ``reg`` is a legal register number, raising ``ValueError``."""
+    if not isinstance(reg, int) or not 0 <= reg < NUM_REGISTERS:
+        raise ValueError(f"register number out of range: {reg!r}")

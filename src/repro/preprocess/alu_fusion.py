@@ -1,0 +1,76 @@
+"""Shift-add ALU fusion (preprocessing pass).
+
+The paper's third preprocessing optimisation targets "a new ALU [that]
+adds two register operands, each of which can be shifted left by a
+small immediate amount, and a third immediate operand."  The fill unit
+collapses a dependent pair
+
+    slli  t, a, k        (k small)
+    add   d, t, b        (or addi d, t, imm)
+
+into the fused form
+
+    sadd  d, a<<k, b<<0, imm
+
+removing one level of dependence height.  The shift itself must still
+execute when its result is live elsewhere in the trace; when ``t`` is
+not read again (and is overwritten or dead at trace exit as far as the
+trace can tell), conservative liveness keeps it — the *timing* benefit
+is carried entirely by the consumer no longer waiting on it.
+
+Only ``rs1`` feeding shifts are fused here (one level), which is the
+common address-computation idiom the new ALU targets.
+"""
+
+from __future__ import annotations
+
+from repro.isa import Instruction, Opcode, ZERO
+
+_MAX_SHIFT = 3
+"""'Shifted left by a small immediate amount' — up to 3 (scale 8)."""
+
+
+def fuse_shift_adds(instructions: tuple[Instruction, ...]
+                    ) -> tuple[Instruction, ...]:
+    """Rewrite eligible add consumers of small left-shifts to SADD."""
+    # Map register -> (producer index, source reg, shift amount) while
+    # the shift result is the *latest* definition of that register.
+    shifted: dict[int, tuple[int, int, int]] = {}
+    out = list(instructions)
+    for i, inst in enumerate(instructions):
+        fused = _try_fuse(inst, shifted)
+        if fused is not None:
+            out[i] = fused
+        dest = inst.destination_register()
+        if dest is not None:
+            if (inst.op is Opcode.SLLI and 1 <= inst.imm <= _MAX_SHIFT
+                    and inst.rs1 != ZERO):
+                shifted[dest] = (i, inst.rs1, inst.imm)
+            else:
+                shifted.pop(dest, None)
+            # Any redefinition of a shift *source* invalidates records
+            # that read it (the fused operand must see the old value).
+            stale = [reg for reg, (_, src, _) in shifted.items()
+                     if src == dest and reg != dest]
+            for reg in stale:
+                del shifted[reg]
+    return tuple(out)
+
+
+def _try_fuse(inst: Instruction,
+              shifted: dict[int, tuple[int, int, int]]
+              ) -> Instruction | None:
+    if inst.op is Opcode.ADD:
+        if inst.rs1 in shifted:
+            _, src, sh = shifted[inst.rs1]
+            return Instruction(Opcode.SADD, rd=inst.rd, rs1=src,
+                               rs2=inst.rs2, sh1=sh, sh2=0, imm=0)
+        if inst.rs2 in shifted:
+            _, src, sh = shifted[inst.rs2]
+            return Instruction(Opcode.SADD, rd=inst.rd, rs1=inst.rs1,
+                               rs2=src, sh1=0, sh2=sh, imm=0)
+    elif inst.op is Opcode.ADDI and inst.rs1 in shifted:
+        _, src, sh = shifted[inst.rs1]
+        return Instruction(Opcode.SADD, rd=inst.rd, rs1=src, rs2=ZERO,
+                           sh1=sh, sh2=0, imm=inst.imm)
+    return None

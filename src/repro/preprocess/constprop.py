@@ -1,0 +1,103 @@
+"""Constant propagation within a trace (preprocessing pass).
+
+The fill unit knows the values of immediates; chains of immediate
+arithmetic inside a trace can be folded so downstream instructions no
+longer depend on the chain ("the instructions within a trace need not
+be identical to the instructions specified in the static program
+representation, just functionally equivalent").
+
+The pass tracks registers whose value is a *known constant* within the
+trace (seeded by ``ADDI rd, r0, imm`` / ``LUI``) and rewrites consumers:
+
+* an ALU op whose sources are all known becomes ``ADDI rd, r0, result``
+  (zero dependence height);
+* ``ADDI rd, rs, imm`` where ``rs`` is a known constant becomes
+  ``ADDI rd, r0, known+imm``.
+
+Values escaping the trace are unchanged — writes still happen to the
+same destination registers in the same order, so architectural state at
+trace exit is identical.  Only register *sources* are rewritten.
+"""
+
+from __future__ import annotations
+
+from repro.engine.state import to_signed, to_unsigned
+from repro.isa import Instruction, Kind, Opcode, ZERO
+
+#: Opcodes the folder can evaluate at fill time.
+_EVAL = {
+    Opcode.ADD: lambda a, b: a + b,
+    Opcode.SUB: lambda a, b: a - b,
+    Opcode.AND: lambda a, b: a & b,
+    Opcode.OR: lambda a, b: a | b,
+    Opcode.XOR: lambda a, b: a ^ b,
+    Opcode.SLL: lambda a, b: a << (b & 31),
+    Opcode.SRL: lambda a, b: a >> (b & 31),
+}
+
+_EVAL_IMM = {
+    Opcode.ADDI: lambda a, imm: a + imm,
+    Opcode.ANDI: lambda a, imm: a & to_unsigned(imm),
+    Opcode.ORI: lambda a, imm: a | to_unsigned(imm),
+    Opcode.XORI: lambda a, imm: a ^ to_unsigned(imm),
+    Opcode.SLLI: lambda a, imm: a << (imm & 31),
+    Opcode.SRLI: lambda a, imm: a >> (imm & 31),
+}
+
+#: Immediate range representable by the fill unit's rewritten ADDI.
+_IMM_MIN, _IMM_MAX = -(1 << 15), (1 << 15) - 1
+
+
+def propagate_constants(instructions: tuple[Instruction, ...]
+                        ) -> tuple[Instruction, ...]:
+    """Fold known-constant chains; returns the rewritten sequence."""
+    known: dict[int, int] = {ZERO: 0}
+    out: list[Instruction] = []
+    for inst in instructions:
+        rewritten = _fold(inst, known)
+        out.append(rewritten)
+        dest = rewritten.destination_register()
+        if dest is None:
+            # Stores/branches don't define; but a call writes ra with a
+            # non-constant (pc) value handled below via is_control.
+            continue
+        value = _value_of(rewritten, known)
+        if value is not None:
+            known[dest] = value
+        else:
+            known.pop(dest, None)
+    return tuple(out)
+
+
+def _fold(inst: Instruction, known: dict[int, int]) -> Instruction:
+    """Rewrite one instruction given currently-known constants."""
+    if inst.is_control or inst.kind in (Kind.LOAD, Kind.STORE):
+        return inst
+    op = inst.op
+    if op in _EVAL and inst.rs1 in known and inst.rs2 in known:
+        result = to_unsigned(_EVAL[op](known[inst.rs1], known[inst.rs2]))
+        folded = to_signed(result)
+        if _IMM_MIN <= folded <= _IMM_MAX:
+            return Instruction(Opcode.ADDI, rd=inst.rd, rs1=ZERO, imm=folded)
+        return inst
+    if op in _EVAL_IMM and inst.rs1 in known:
+        result = to_unsigned(_EVAL_IMM[op](known[inst.rs1], inst.imm))
+        folded = to_signed(result)
+        if _IMM_MIN <= folded <= _IMM_MAX:
+            return Instruction(Opcode.ADDI, rd=inst.rd, rs1=ZERO, imm=folded)
+        return inst
+    return inst
+
+
+def _value_of(inst: Instruction, known: dict[int, int]) -> int | None:
+    """Constant value an instruction produces, if determinable."""
+    op = inst.op
+    if op is Opcode.ADDI and inst.rs1 in known:
+        return to_unsigned(known[inst.rs1] + inst.imm)
+    if op is Opcode.LUI:
+        return to_unsigned((inst.imm & 0xFFFF) << 16)
+    if op in _EVAL_IMM and inst.rs1 in known:
+        return to_unsigned(_EVAL_IMM[op](known[inst.rs1], inst.imm))
+    if op in _EVAL and inst.rs1 in known and inst.rs2 in known:
+        return to_unsigned(_EVAL[op](known[inst.rs1], known[inst.rs2]))
+    return None

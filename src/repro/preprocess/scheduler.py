@@ -1,0 +1,48 @@
+"""Intra-trace list scheduling (preprocessing pass).
+
+The processing elements issue in order, two per cycle, so instruction
+placement inside a trace determines how densely a PE can issue.  The
+fill unit reorders instructions by dependence height (critical path
+first) subject to the constraint graph of
+:mod:`repro.preprocess.dependence` — RAW dataflow, memory order, and
+control order are all preserved, so the reordered trace is functionally
+equivalent.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from repro.isa import Instruction
+from repro.preprocess.dependence import build_dependence_graph
+
+
+def schedule_order(instructions: tuple[Instruction, ...]) -> list[int]:
+    """Return the scheduled permutation as original-index order."""
+    n = len(instructions)
+    if n <= 2:
+        return list(range(n))
+    graph = build_dependence_graph(instructions)
+    heights = graph.critical_heights()
+    indegree = [len(p) for p in graph.preds]
+
+    # Max-heap on (height, -original_index): critical chains first,
+    # original order as the tiebreak (stable for independent work).
+    ready = [(-heights[i], i) for i in range(n) if indegree[i] == 0]
+    heapq.heapify(ready)
+    order: list[int] = []
+    while ready:
+        _, index = heapq.heappop(ready)
+        order.append(index)
+        for succ in sorted(graph.succs[index]):
+            indegree[succ] -= 1
+            if indegree[succ] == 0:
+                heapq.heappush(ready, (-heights[succ], succ))
+    assert len(order) == n, "dependence graph has a cycle?"
+    return order
+
+
+def schedule_trace(instructions: tuple[Instruction, ...]
+                   ) -> tuple[Instruction, ...]:
+    """Return a latency-aware topological reordering of ``instructions``."""
+    return tuple(instructions[i] for i in schedule_order(instructions))

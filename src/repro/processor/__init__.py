@@ -1,0 +1,17 @@
+"""Trace-processor timing model: backend dataflow engine + full sim."""
+
+from repro.processor.backend import BackendConfig, BackendModel, TraceTiming
+from repro.processor.latencies import instruction_latency
+from repro.processor.timing import (
+    ProcessorConfig,
+    ProcessorResult,
+    ProcessorSimulation,
+    ProcessorStats,
+    run_processor,
+)
+
+__all__ = [
+    "BackendConfig", "BackendModel", "TraceTiming", "instruction_latency",
+    "ProcessorConfig", "ProcessorResult", "ProcessorSimulation",
+    "ProcessorStats", "run_processor",
+]

@@ -1,0 +1,18 @@
+"""Operation latencies for the backend timing model.
+
+"The latency of each operation is equivalent to the latency of the
+corresponding operation in the MIPS R10000 processor" — integer ALU 1,
+multiply 3, divide 20 (as encoded in :mod:`repro.isa.opcodes`); loads
+take 2 cycles on a data-cache hit.  The generated workloads' data
+footprint (a few KB) fits the modelled 64 KB L1 easily, so loads are
+charged the hit latency (documented substitution in DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from repro.isa import Instruction
+
+
+def instruction_latency(inst: Instruction) -> int:
+    """Execution latency in cycles for ``inst`` (R10000 model)."""
+    return inst.latency

@@ -1,0 +1,256 @@
+"""Full trace-processor timing simulation (frontend + backend).
+
+This is the model behind the paper's Figure 6 (speedup from
+preconstruction) and Figure 8 (extended pipeline: preconstruction +
+preprocessing).  It replays the committed dynamic stream trace by
+trace, with:
+
+* next-trace prediction gating the fast (trace cache) fetch path;
+* slow-path fetch through the shared instruction cache when the
+  predictor has no matching prediction or the trace is absent;
+* mispredict resolution tied to the previous trace's last control
+  transfer completing in the backend;
+* the dataflow backend of :mod:`repro.processor.backend` (4 PEs,
+  2-way in-order issue each, global result buses);
+* optional preconstruction, funded by cycles in which the slow path is
+  idle (dispatch-to-dispatch span minus slow-path busy time);
+* optional fill-unit preprocessing: the backend executes the
+  preprocessed *execution view* of each trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.branch import BimodalPredictor, NextTracePredictor
+from repro.caches import InstructionCache
+from repro.core import PreconstructionEngine
+from repro.engine import FunctionalEngine, StreamRecord
+from repro.isa import Instruction
+from repro.preprocess import PreprocessConfig, Preprocessor
+from repro.processor.backend import BackendConfig, BackendModel
+from repro.program import ProgramImage
+from repro.sim.config import FrontendConfig
+from repro.trace import Trace, TraceCache, TraceID, TraceSelector
+
+
+@dataclass(frozen=True)
+class ProcessorConfig:
+    """Frontend + backend + optional preprocessing."""
+
+    frontend: FrontendConfig = field(default_factory=FrontendConfig)
+    backend: BackendConfig = field(default_factory=BackendConfig)
+    preprocess: Optional[PreprocessConfig] = None
+
+
+@dataclass
+class ProcessorStats:
+    """Counters and timing results of a full-processor run."""
+
+    instructions: int = 0
+    traces: int = 0
+    cycles: int = 0
+    trace_hits: int = 0
+    trace_misses: int = 0
+    buffer_hits: int = 0
+    slow_path_traces: int = 0
+    ntp_correct: int = 0
+    ntp_wrong: int = 0
+    ntp_none: int = 0
+    issue_stalls: int = 0
+    idle_cycles: int = 0
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    @property
+    def trace_miss_rate_per_ki(self) -> float:
+        return (1000.0 * self.trace_misses / self.instructions
+                if self.instructions else 0.0)
+
+
+@dataclass
+class ProcessorResult:
+    config: ProcessorConfig
+    stats: ProcessorStats
+    preconstruction: Optional[PreconstructionEngine]
+    backend: Optional[object] = None
+
+
+class ProcessorSimulation:
+    """Cycle-timestamped trace-processor model."""
+
+    def __init__(self, image: ProgramImage, config: ProcessorConfig) -> None:
+        self.image = image
+        self.config = config
+        front = config.frontend
+        self.stats = ProcessorStats()
+        self.icache = InstructionCache(front.icache)
+        self.trace_cache = TraceCache(front.trace_cache)
+        self.bimodal = BimodalPredictor(entries=front.bimodal_entries)
+        self.predictor: NextTracePredictor = NextTracePredictor(
+            front.predictor)
+        self.selector = TraceSelector(front.selection)
+        self.backend = BackendModel(config.backend)
+        self.preprocessor: Optional[Preprocessor] = None
+        if config.preprocess is not None and config.preprocess.any_enabled:
+            self.preprocessor = Preprocessor(config.preprocess)
+        self._views: dict[TraceID, tuple[Instruction, ...]] = {}
+        self.precon: Optional[PreconstructionEngine] = None
+        if front.preconstruction is not None:
+            self.precon = PreconstructionEngine(
+                image=image, icache=self.icache, bimodal=self.bimodal,
+                trace_cache=self.trace_cache,
+                config=front.preconstruction, selection=front.selection)
+        # Timeline state
+        self._fetch_free = 0
+        self._prev_last_control = 0
+        self._prev_retire = 0
+        self._prev_dispatch = 0
+        self._next_pe = 0
+
+    # ------------------------------------------------------------------
+    def run(self, stream: Iterable[StreamRecord]) -> ProcessorResult:
+        feed = self.selector.feed
+        step = self._process_trace
+        for record in stream:
+            trace = feed(record)
+            if trace is not None:
+                step(trace)
+        tail = self.selector.flush()
+        if tail is not None:
+            step(tail)
+        self.stats.cycles = self._prev_retire
+        return ProcessorResult(config=self.config, stats=self.stats,
+                               preconstruction=self.precon,
+                               backend=self.backend)
+
+    # ------------------------------------------------------------------
+    def _execution_view(self, trace: Trace) -> tuple[Instruction, ...]:
+        if self.preprocessor is None:
+            return trace.instructions
+        view = self._views.get(trace.trace_id)
+        if view is None:
+            view = self.preprocessor.process(trace)
+            self._views[trace.trace_id] = view
+        return view
+
+    # ------------------------------------------------------------------
+    def _process_trace(self, actual: Trace) -> None:
+        stats = self.stats
+        front = self.config.frontend
+        stats.traces += 1
+        stats.instructions += len(actual)
+
+        predicted = self.predictor.predict()
+        predicted_ok = predicted == actual.trace_id
+        present = self.trace_cache.lookup(actual.trace_id) is not None
+        if not present and self.precon is not None:
+            present = self.precon.probe_and_promote(
+                actual.trace_id) is not None
+            if present:
+                stats.buffer_hits += 1
+
+        start = self._fetch_free
+        if predicted is None:
+            stats.ntp_none += 1
+        elif predicted_ok:
+            stats.ntp_correct += 1
+        else:
+            stats.ntp_wrong += 1
+            # Wrong path fetched; redirect after the previous trace's
+            # control transfers resolve in the backend.
+            start = max(start, self._prev_last_control
+                        + self.config.backend.redirect_penalty)
+
+        slow_busy = 0
+        if present:
+            stats.trace_hits += 1
+        else:
+            stats.trace_misses += 1
+        if present and (predicted_ok or predicted is not None):
+            # Trace-cache supply (after redirect when mispredicted).
+            fetch_done = start + 1
+        else:
+            # Slow path: no usable prediction or trace absent.
+            stats.slow_path_traces += 1
+            slow_busy = self._slow_path_cycles(actual)
+            fetch_done = start + slow_busy
+            if not present and not actual.partial:
+                self.trace_cache.insert(actual)
+
+        self._fetch_free = fetch_done
+
+        pe = self._next_pe
+        self._next_pe = (pe + 1) % self.config.backend.num_pes
+        dispatch = max(fetch_done, self.backend.pe_free[pe])
+        timing = self.backend.execute_trace(
+            self._execution_view(actual), dispatch, pe,
+            mem_addrs=self.selector.last_addresses)
+        stats.issue_stalls += timing.issue_stalls
+        retire = max(timing.done, self._prev_retire)
+        self.backend.pe_free[pe] = retire
+        self._prev_retire = retire
+        self._prev_last_control = timing.last_control
+
+        if self.precon is not None:
+            # Slow-path hardware is idle for the remainder of the
+            # dispatch-to-dispatch span (including backend-drain time).
+            idle = max(0, (dispatch - self._prev_dispatch) - slow_busy)
+            stats.idle_cycles += idle
+            self.precon.observe_dispatch(actual)
+            if idle:
+                self.precon.tick(idle)
+        self._prev_dispatch = dispatch
+
+        self._train(actual, predicted)
+
+    # ------------------------------------------------------------------
+    def _slow_path_cycles(self, actual: Trace) -> int:
+        """Slow-path supply latency for one trace (icache + bimodal)."""
+        front = self.config.frontend
+        line_bytes = self.icache.config.line_bytes
+        cycles = -(-len(actual) // front.fetch_width)
+        seen_line = None
+        for pc in actual.pcs:
+            line = pc - (pc % line_bytes)
+            if line != seen_line:
+                latency, missed = self.icache.fetch_line(
+                    line, "slow_path", instructions=0)
+                if missed:
+                    cycles += latency
+                seen_line = line
+        outcome_index = 0
+        for pc, inst in zip(actual.pcs, actual.instructions):
+            if inst.is_conditional_branch:
+                taken = actual.trace_id.outcomes[outcome_index]
+                outcome_index += 1
+                if self.bimodal.predict(pc) != taken:
+                    cycles += front.branch_mispredict_penalty
+        return cycles
+
+    def _train(self, actual: Trace, predicted) -> None:
+        self.predictor.update(actual.trace_id, predicted,
+                              ends_in_call=actual.ends_in_call,
+                              ends_in_return=actual.ends_in_return)
+        if self.config.frontend.train_bimodal_on_all_branches:
+            outcome_index = 0
+            for pc, inst in zip(actual.pcs, actual.instructions):
+                if inst.is_conditional_branch:
+                    self.bimodal.update(
+                        pc, actual.trace_id.outcomes[outcome_index])
+                    outcome_index += 1
+
+
+def run_processor(image: ProgramImage, config: ProcessorConfig,
+                  max_instructions: int,
+                  stream: Optional[list[StreamRecord]] = None
+                  ) -> ProcessorResult:
+    """Convenience wrapper mirroring :func:`repro.sim.run_frontend`."""
+    if stream is None:
+        stream = FunctionalEngine(image).run(max_instructions)
+    else:
+        stream = stream[:max_instructions]
+    return ProcessorSimulation(image, config).run(stream)

@@ -1,0 +1,127 @@
+"""Static analyses over linked program images.
+
+These are used by the workload generator's self-checks and by tests:
+reachability from the entry point, static branch inventory (forward vs
+backward), call-graph extraction, and footprint statistics.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.isa import INSTRUCTION_BYTES, Kind, Opcode
+from repro.program.image import ProgramImage
+
+
+@dataclass(frozen=True)
+class StaticStats:
+    """Summary statistics of a program image."""
+
+    instructions: int
+    conditional_branches: int
+    backward_branches: int
+    calls: int
+    indirect_jumps: int
+    returns: int
+    procedures_reached: int
+
+
+def reachable_addresses(image: ProgramImage) -> set[int]:
+    """Instruction addresses reachable from the entry point.
+
+    Register-indirect jumps/calls are resolved through the data segment
+    relocations: any data word holding a code address is treated as a
+    potential target (a conservative over-approximation, fine for the
+    generator's self-checks).  Returns are handled via call-site
+    fall-through edges.
+    """
+    indirect_targets = {value for value in image.data.values()
+                        if value in image}
+    seen: set[int] = set()
+    work: deque[int] = deque([image.entry])
+    while work:
+        pc = work.popleft()
+        if pc in seen or pc not in image:
+            continue
+        seen.add(pc)
+        inst = image.fetch(pc)
+        kind = inst.kind
+        if kind is Kind.HALT:
+            continue
+        if kind is Kind.JUMP:
+            work.append(inst.imm)
+            continue
+        if kind is Kind.CALL:
+            work.append(inst.imm)
+            work.append(pc + INSTRUCTION_BYTES)  # return point
+            continue
+        if kind is Kind.BRANCH:
+            work.append(pc + inst.imm)
+            work.append(pc + INSTRUCTION_BYTES)
+            continue
+        if kind is Kind.CALL_INDIRECT:
+            work.extend(indirect_targets)
+            work.append(pc + INSTRUCTION_BYTES)
+            continue
+        if kind is Kind.JUMP_INDIRECT:
+            if not inst.is_return:
+                work.extend(indirect_targets)
+            continue  # return edges come from call sites
+        work.append(pc + INSTRUCTION_BYTES)
+    return seen
+
+
+def static_stats(image: ProgramImage) -> StaticStats:
+    """Inventory of control-flow instruction classes in ``image``."""
+    cond = back = calls = indirect = rets = 0
+    for pc in image.addresses():
+        inst = image.fetch(pc)
+        if inst.is_conditional_branch:
+            cond += 1
+            if inst.is_backward_branch():
+                back += 1
+        elif inst.is_call:
+            calls += 1
+        elif inst.is_return:
+            rets += 1
+        elif inst.is_indirect:
+            indirect += 1
+    procs = sum(1 for name, addr in image.labels.items()
+                if ":" not in name and addr in reachable_addresses(image))
+    return StaticStats(
+        instructions=image.code_size,
+        conditional_branches=cond,
+        backward_branches=back,
+        calls=calls,
+        indirect_jumps=indirect,
+        returns=rets,
+        procedures_reached=procs,
+    )
+
+
+def call_graph(image: ProgramImage) -> dict[str, set[str]]:
+    """Direct call graph over procedure labels (indirect calls omitted)."""
+    # Procedure labels are those without a ':'; sort by address to map
+    # call-site addresses back to their enclosing procedure.
+    procs = sorted(((addr, name) for name, addr in image.labels.items()
+                    if ":" not in name))
+    addr_to_proc = {addr: name for addr, name in procs}
+
+    def enclosing(pc: int) -> str | None:
+        owner = None
+        for addr, name in procs:
+            if addr <= pc:
+                owner = name
+            else:
+                break
+        return owner
+
+    graph: dict[str, set[str]] = {name: set() for _, name in procs}
+    for pc in image.addresses():
+        inst = image.fetch(pc)
+        if inst.op is Opcode.JAL and inst.imm in addr_to_proc:
+            caller = enclosing(pc)
+            if caller is not None:
+                graph[caller].add(addr_to_proc[inst.imm])
+    return graph

@@ -1,0 +1,92 @@
+"""The linked program image: flat instruction memory plus initial data.
+
+A :class:`ProgramImage` is what every downstream consumer works from —
+the functional engine executes it, the instruction cache models fetches
+from it, and the preconstruction engine reads *static* instructions out
+of it when exploring future regions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from repro.isa import INSTRUCTION_BYTES, Instruction
+
+#: Default base address of the code segment.
+CODE_BASE = 0x1000
+
+#: Default base address of the data segment.
+DATA_BASE = 0x40_0000
+
+
+@dataclass
+class ProgramImage:
+    """A fully linked program.
+
+    ``instructions`` is dense from ``code_base``; instruction *i* lives
+    at byte address ``code_base + 4*i``.  ``data`` maps word-aligned
+    byte addresses to initial 32-bit values (the engine treats absent
+    addresses as zero).  ``labels`` maps every procedure and block label
+    to its byte address.
+    """
+
+    instructions: list[Instruction]
+    code_base: int = CODE_BASE
+    entry: int = CODE_BASE
+    labels: dict[str, int] = field(default_factory=dict)
+    data: dict[int, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.code_base % INSTRUCTION_BYTES:
+            raise ValueError("code_base must be instruction-aligned")
+
+    # ------------------------------------------------------------------
+    def fetch(self, pc: int) -> Instruction:
+        """Return the instruction at byte address ``pc``.
+
+        Raises ``IndexError`` for addresses outside the code segment —
+        the simulator treats that as a wild jump (a bug in the workload
+        or the machinery, never silently ignored).
+        """
+        index, rem = divmod(pc - self.code_base, INSTRUCTION_BYTES)
+        if rem or not 0 <= index < len(self.instructions):
+            raise IndexError(f"PC out of code segment: {pc:#x}")
+        return self.instructions[index]
+
+    def try_fetch(self, pc: int) -> Optional[Instruction]:
+        """Like :meth:`fetch` but returns ``None`` out of bounds."""
+        index, rem = divmod(pc - self.code_base, INSTRUCTION_BYTES)
+        if rem or not 0 <= index < len(self.instructions):
+            return None
+        return self.instructions[index]
+
+    def __contains__(self, pc: int) -> bool:
+        return self.try_fetch(pc) is not None
+
+    # ------------------------------------------------------------------
+    @property
+    def code_size(self) -> int:
+        """Static code footprint in instructions."""
+        return len(self.instructions)
+
+    @property
+    def code_bytes(self) -> int:
+        return len(self.instructions) * INSTRUCTION_BYTES
+
+    @property
+    def code_end(self) -> int:
+        """First byte address past the code segment."""
+        return self.code_base + self.code_bytes
+
+    def addresses(self) -> Iterator[int]:
+        """Yield every instruction address in layout order."""
+        for i in range(len(self.instructions)):
+            yield self.code_base + i * INSTRUCTION_BYTES
+
+    def label_at(self, pc: int) -> Optional[str]:
+        """Reverse label lookup (first match), for diagnostics."""
+        for name, addr in self.labels.items():
+            if addr == pc:
+                return name
+        return None

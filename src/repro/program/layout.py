@@ -1,0 +1,188 @@
+"""Layout / linking: CFG form -> linked :class:`ProgramImage`.
+
+Two passes:
+
+1. Walk procedures and blocks in order, assigning byte addresses to
+   every label.  A FALLTHROUGH terminator whose successor is the next
+   block in layout order emits nothing; otherwise it emits a ``J``.
+   A BRANCH terminator whose fallthrough successor is *not* the next
+   block emits the branch plus a ``J``.
+2. Emit instructions, patching branch immediates (PC-relative) and
+   jump/call immediates (absolute), and apply data relocations (data
+   words that hold code addresses, e.g. switch tables and function-
+   pointer tables).
+
+The program starts with a two-instruction stub ``JAL <entry>; HALT`` so
+that the entry procedure's ``JR ra`` cleanly terminates execution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence, Union
+
+from repro.isa import Instruction, Opcode, RA
+from repro.program.block import BasicBlock, Call, TermKind
+from repro.program.cfg import Procedure
+from repro.program.image import CODE_BASE, DATA_BASE, ProgramImage
+
+
+class LayoutError(ValueError):
+    """Raised when a program cannot be linked (e.g. undefined label)."""
+
+
+@dataclass(frozen=True)
+class Reloc:
+    """A data word whose value is the address of ``label`` (+ ``addend``)."""
+
+    label: str
+    addend: int = 0
+
+
+#: One initial data word: a literal value or a code-address relocation.
+DataWord = Union[int, Reloc]
+
+
+@dataclass
+class DataSegment:
+    """Initial data memory: words laid out contiguously from ``base``."""
+
+    words: list[DataWord] = field(default_factory=list)
+    base: int = DATA_BASE
+
+    def append(self, word: DataWord) -> int:
+        """Append a word, returning its byte address."""
+        addr = self.base + 4 * len(self.words)
+        self.words.append(word)
+        return addr
+
+    def extend(self, words: Sequence[DataWord]) -> int:
+        """Append ``words``, returning the byte address of the first."""
+        addr = self.base + 4 * len(self.words)
+        for word in words:
+            self.words.append(word)
+        return addr
+
+
+def layout(procedures: Sequence[Procedure], entry: str,
+           data: DataSegment | None = None,
+           code_base: int = CODE_BASE) -> ProgramImage:
+    """Link ``procedures`` into a :class:`ProgramImage`.
+
+    ``entry`` names the procedure invoked by the startup stub.
+    """
+    names = [p.name for p in procedures]
+    if len(set(names)) != len(names):
+        raise LayoutError("duplicate procedure names")
+    if entry not in names:
+        raise LayoutError(f"entry procedure {entry!r} not defined")
+    for proc in procedures:
+        proc.cfg.validate()
+
+    # ------------------------------------------------------------------
+    # Pass 1: address assignment.
+    # ------------------------------------------------------------------
+    labels: dict[str, int] = {}
+    # The stub occupies the first two slots.
+    pc = code_base + 2 * 4
+    plan: list[tuple[BasicBlock, str | None]] = []  # (block, next_label)
+    for proc in procedures:
+        blocks = proc.cfg.blocks
+        for i, block in enumerate(blocks):
+            if block.label in labels:
+                raise LayoutError(f"duplicate label {block.label!r}")
+            labels[block.label] = pc
+            next_label = blocks[i + 1].label if i + 1 < len(blocks) else None
+            plan.append((block, next_label))
+            pc += 4 * _emitted_count(block, next_label)
+
+    # ------------------------------------------------------------------
+    # Pass 2: emission.
+    # ------------------------------------------------------------------
+    out: list[Instruction] = [
+        Instruction(Opcode.JAL, rd=RA, imm=labels[entry]),
+        Instruction(Opcode.HALT),
+    ]
+    pc = code_base + 2 * 4
+    for block, next_label in plan:
+        assert labels[block.label] == pc, "pass-1/pass-2 address drift"
+        for item in block.body:
+            if isinstance(item, Call):
+                target = _resolve(labels, item.target_label)
+                out.append(Instruction(Opcode.JAL, rd=RA, imm=target))
+            else:
+                out.append(item)
+            pc += 4
+        pc = _emit_terminator(out, block, next_label, pc, labels)
+
+    image = ProgramImage(instructions=out, code_base=code_base,
+                         entry=code_base, labels=labels)
+
+    # ------------------------------------------------------------------
+    # Data segment with relocations.
+    # ------------------------------------------------------------------
+    if data is not None:
+        for i, word in enumerate(data.words):
+            addr = data.base + 4 * i
+            if isinstance(word, Reloc):
+                image.data[addr] = _resolve(labels, word.label) + word.addend
+            else:
+                image.data[addr] = word
+    return image
+
+
+def _resolve(labels: dict[str, int], label: str) -> int:
+    if label not in labels:
+        raise LayoutError(f"undefined label {label!r}")
+    return labels[label]
+
+
+def _emitted_count(block: BasicBlock, next_label: str | None) -> int:
+    """Instructions ``block`` will emit given its layout successor."""
+    count = len(block.body)
+    term = block.terminator
+    if term.kind is TermKind.FALLTHROUGH:
+        count += 0 if term.targets[0] == next_label else 1
+    elif term.kind is TermKind.BRANCH:
+        count += 1
+        if term.targets[1] != next_label:
+            count += 1  # fallthrough needs an explicit J
+    else:
+        count += 1
+    return count
+
+
+def _emit_terminator(out: list[Instruction], block: BasicBlock,
+                     next_label: str | None, pc: int,
+                     labels: dict[str, int]) -> int:
+    term = block.terminator
+    if term.kind is TermKind.FALLTHROUGH:
+        if term.targets[0] != next_label:
+            out.append(Instruction(Opcode.J, imm=_resolve(labels,
+                                                          term.targets[0])))
+            pc += 4
+        return pc
+    if term.kind is TermKind.BRANCH:
+        taken = _resolve(labels, term.targets[0])
+        out.append(Instruction(term.branch_op, rs1=term.rs1, rs2=term.rs2,
+                               imm=taken - pc))
+        pc += 4
+        if term.targets[1] != next_label:
+            out.append(Instruction(Opcode.J,
+                                   imm=_resolve(labels, term.targets[1])))
+            pc += 4
+        return pc
+    if term.kind is TermKind.JUMP:
+        out.append(Instruction(Opcode.J, imm=_resolve(labels,
+                                                      term.targets[0])))
+        return pc + 4
+    if term.kind is TermKind.RETURN:
+        out.append(Instruction(Opcode.JR, rs1=RA))
+        return pc + 4
+    if term.kind is TermKind.INDIRECT_JUMP:
+        out.append(Instruction(Opcode.JR, rs1=term.reg))
+        return pc + 4
+    if term.kind is TermKind.HALT:
+        out.append(Instruction(Opcode.HALT))
+        return pc + 4
+    raise LayoutError(f"unhandled terminator kind {term.kind}")

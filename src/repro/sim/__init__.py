@@ -1,0 +1,21 @@
+"""Simulation drivers: configuration, statistics, frontend runner."""
+
+from repro.sim.config import FrontendConfig
+from repro.sim.dynamic_partition import (
+    DynamicPartitionConfig,
+    DynamicPartitionFrontend,
+    PartitionEvent,
+    run_dynamic_frontend,
+)
+from repro.sim.frontend_runner import (
+    FrontendResult,
+    FrontendSimulation,
+    run_frontend,
+)
+from repro.sim.stats import FrontendStats
+
+__all__ = [
+    "FrontendConfig", "FrontendResult", "FrontendSimulation", "run_frontend",
+    "FrontendStats", "DynamicPartitionConfig", "DynamicPartitionFrontend",
+    "PartitionEvent", "run_dynamic_frontend",
+]

@@ -1,0 +1,67 @@
+"""Simulation configuration for the trace-processor frontend."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.branch import NextTracePredictorConfig
+from repro.caches import ICacheConfig
+from repro.core import PreconstructionConfig
+from repro.trace import SelectionConfig, TraceCacheConfig
+
+
+@dataclass(frozen=True)
+class FrontendConfig:
+    """Everything the frontend simulation needs.
+
+    ``preconstruction`` of ``None`` models the baseline trace processor
+    (no preconstruction hardware at all).
+
+    The trace-driven timing approximation (see DESIGN.md) is controlled
+    by three knobs:
+
+    * ``fetch_width`` — slow-path instructions fetched per cycle (4);
+    * ``retire_ipc`` — sustained backend consumption rate, which paces
+      the frontend on trace-cache hits and thereby determines how many
+      *idle* slow-path cycles the preconstruction engine receives;
+    * ``trace_mispredict_penalty`` / ``branch_mispredict_penalty`` —
+      resolution latencies charged for wrong next-trace predictions and
+      slow-path bimodal mispredictions.
+    """
+
+    trace_cache: TraceCacheConfig = field(default_factory=TraceCacheConfig)
+    preconstruction: Optional[PreconstructionConfig] = None
+    selection: SelectionConfig = field(default_factory=SelectionConfig)
+    icache: ICacheConfig = field(default_factory=ICacheConfig)
+    predictor: NextTracePredictorConfig = field(
+        default_factory=NextTracePredictorConfig)
+    bimodal_entries: int = 4096
+    fetch_width: int = 4
+    retire_ipc: float = 2.5
+    trace_mispredict_penalty: int = 8
+    branch_mispredict_penalty: int = 6
+    train_bimodal_on_all_branches: bool = True
+
+    def __post_init__(self) -> None:
+        if self.fetch_width <= 0:
+            raise ValueError("fetch_width must be positive")
+        if self.retire_ipc <= 0:
+            raise ValueError("retire_ipc must be positive")
+
+    @property
+    def total_trace_storage_bytes(self) -> int:
+        """Combined trace cache + preconstruction buffer area (the
+        x-axis of the paper's Figure 5)."""
+        total = self.trace_cache.size_bytes
+        if self.preconstruction is not None:
+            from repro.trace.trace_cache import BYTES_PER_ENTRY
+            total += self.preconstruction.buffer_entries * BYTES_PER_ENTRY
+        return total
+
+    @property
+    def total_trace_entries(self) -> int:
+        total = self.trace_cache.entries
+        if self.preconstruction is not None:
+            total += self.preconstruction.buffer_entries
+        return total

@@ -1,0 +1,224 @@
+"""The frontend timing simulation (trace-driven).
+
+Replays a committed dynamic instruction stream through the trace
+processor's frontend:
+
+1. the stream is partitioned into traces by the selection rules;
+2. for each needed trace, the next-trace predictor is consulted and the
+   trace cache + preconstruction buffers are probed;
+3. a present, correctly-predicted trace costs one fetch cycle and the
+   backend paces consumption (``retire_ipc``), leaving the slow path
+   idle — those idle cycles fund the preconstruction engine;
+4. an absent trace is fetched from the instruction cache over the slow
+   path (``fetch_width`` per cycle plus miss latencies), constructed by
+   the fill unit, and installed in the trace cache.
+
+This is the trace-driven approximation described in DESIGN.md: the
+committed path is exact; wrong-path fetch is approximated by resolution
+penalties.  It produces every metric in the paper's Figure 5 and
+Tables 1-3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from repro.branch import BimodalPredictor, NextTracePredictor
+from repro.caches import InstructionCache
+from repro.core import PreconstructionEngine
+from repro.engine import FunctionalEngine, StreamRecord
+from repro.program import ProgramImage
+from repro.sim.config import FrontendConfig
+from repro.sim.stats import FrontendStats
+from repro.trace import Trace, TraceCache, TraceSelector
+
+
+@dataclass
+class FrontendResult:
+    """Everything a caller may want after a frontend run."""
+
+    config: FrontendConfig
+    stats: FrontendStats
+    trace_cache: TraceCache
+    preconstruction: Optional[PreconstructionEngine]
+    icache: InstructionCache
+
+
+class FrontendSimulation:
+    """Reusable frontend simulator; feed it one stream via :meth:`run`."""
+
+    def __init__(self, image: ProgramImage, config: FrontendConfig) -> None:
+        self.image = image
+        self.config = config
+        self.stats = FrontendStats()
+        self.icache = InstructionCache(config.icache)
+        self.trace_cache = TraceCache(config.trace_cache)
+        self.bimodal = BimodalPredictor(entries=config.bimodal_entries)
+        self.predictor: NextTracePredictor = NextTracePredictor(
+            config.predictor)
+        self.selector = TraceSelector(config.selection)
+        self.precon: Optional[PreconstructionEngine] = None
+        if config.preconstruction is not None:
+            self.precon = PreconstructionEngine(
+                image=image, icache=self.icache, bimodal=self.bimodal,
+                trace_cache=self.trace_cache,
+                config=config.preconstruction,
+                selection=config.selection)
+
+    # ------------------------------------------------------------------
+    def run(self, stream: Iterable[StreamRecord]) -> FrontendResult:
+        """Replay ``stream`` through the frontend."""
+        feed = self.selector.feed
+        step = self._process_trace
+        for record in stream:
+            trace = feed(record)
+            if trace is not None:
+                step(trace)
+        tail = self.selector.flush()
+        if tail is not None:
+            step(tail)
+        return FrontendResult(config=self.config, stats=self.stats,
+                              trace_cache=self.trace_cache,
+                              preconstruction=self.precon,
+                              icache=self.icache)
+
+    # ------------------------------------------------------------------
+    def _process_trace(self, actual: Trace) -> None:
+        stats = self.stats
+        config = self.config
+        stats.traces += 1
+        stats.instructions += len(actual)
+
+        predicted = self.predictor.predict()
+        predicted_ok = predicted == actual.trace_id
+
+        present = self.trace_cache.lookup(actual.trace_id) is not None
+        if not present and self.precon is not None:
+            present = self.precon.probe_and_promote(
+                actual.trace_id) is not None
+            if present:
+                stats.buffer_hits += 1
+
+        idle_cycles = 0
+        cycles = 0
+        if predicted is None:
+            stats.ntp_none += 1
+        elif predicted_ok:
+            stats.ntp_correct += 1
+        else:
+            stats.ntp_wrong += 1
+            # Wrong next-trace prediction: resolution penalty during
+            # which the slow-path fetch hardware sits idle.
+            cycles += config.trace_mispredict_penalty
+            idle_cycles += config.trace_mispredict_penalty
+
+        if present:
+            stats.trace_hits += 1
+            fetch_cycles = 1
+            # Backend-paced consumption: the window drains at retire_ipc,
+            # so the slow path idles while the trace cache supplies.
+            pace = max(fetch_cycles,
+                       round(len(actual) / config.retire_ipc))
+            cycles += pace
+            idle_cycles += pace
+        else:
+            stats.trace_misses += 1
+            cycles += self._slow_path_fetch(actual)
+
+        stats.cycles += cycles
+        if self.precon is not None:
+            stats.idle_cycles += idle_cycles
+            self.precon.observe_dispatch(actual)
+            if idle_cycles:
+                self.precon.tick(idle_cycles)
+
+        self._train_predictors(actual, predicted)
+
+    # ------------------------------------------------------------------
+    def _slow_path_fetch(self, actual: Trace) -> int:
+        """Fetch ``actual``'s instructions via the I-cache; build and
+        install the trace.  Returns the cycles consumed."""
+        stats = self.stats
+        config = self.config
+        stats.slow_path_traces += 1
+        line_bytes = self.icache.config.line_bytes
+
+        cycles = -(-len(actual) // config.fetch_width)  # ceil division
+        # Group the dynamic path into consecutive same-line runs.
+        run_line = None
+        run_count = 0
+        for pc in actual.pcs:
+            line = pc - (pc % line_bytes)
+            if line == run_line:
+                run_count += 1
+                continue
+            if run_line is not None:
+                cycles += self._slow_line(run_line, run_count)
+            run_line, run_count = line, 1
+        if run_line is not None:
+            cycles += self._slow_line(run_line, run_count)
+
+        stats.slow_instructions += len(actual)
+        # Slow path consults the bimodal predictor per conditional branch.
+        outcome_index = 0
+        for inst, pc in zip(actual.instructions, actual.pcs):
+            if inst.is_conditional_branch:
+                taken = actual.trace_id.outcomes[outcome_index]
+                outcome_index += 1
+                prediction = self.bimodal.predict(pc)
+                stats.bimodal_predictions += 1
+                if prediction != taken:
+                    stats.bimodal_mispredictions += 1
+                    cycles += config.branch_mispredict_penalty
+
+        # Fill unit installs the newly built trace (never the partial
+        # end-of-stream tail — its identity may collide).
+        if not actual.partial:
+            self.trace_cache.insert(actual)
+        return cycles
+
+    def _slow_line(self, line_addr: int, instructions: int) -> int:
+        """One slow-path line access; returns extra stall cycles."""
+        latency, missed = self.icache.fetch_line(
+            line_addr, "slow_path", instructions=instructions)
+        stats = self.stats
+        stats.slow_line_accesses += 1
+        if missed:
+            stats.slow_line_misses += 1
+            stats.slow_instructions_from_misses += instructions
+            return latency
+        return 0
+
+    # ------------------------------------------------------------------
+    def _train_predictors(self, actual: Trace,
+                          predicted: Optional[object]) -> None:
+        self.predictor.update(
+            actual.trace_id, predicted,
+            ends_in_call=actual.ends_in_call,
+            ends_in_return=actual.ends_in_return)
+        if self.config.train_bimodal_on_all_branches:
+            outcome_index = 0
+            for inst, pc in zip(actual.instructions, actual.pcs):
+                if inst.is_conditional_branch:
+                    self.bimodal.update(
+                        pc, actual.trace_id.outcomes[outcome_index])
+                    outcome_index += 1
+        # Keep Table 2's preconstruction traffic mirrored into stats.
+        traffic = self.icache.traffic.get("preconstruct")
+        if traffic is not None:
+            self.stats.precon_line_accesses = traffic.lines_accessed
+            self.stats.precon_line_misses = traffic.misses
+
+
+def run_frontend(image: ProgramImage, config: FrontendConfig,
+                 max_instructions: int,
+                 stream: Optional[list[StreamRecord]] = None
+                 ) -> FrontendResult:
+    """Convenience wrapper: execute ``image`` functionally (or reuse a
+    precomputed ``stream``) and replay it through the frontend."""
+    if stream is None:
+        stream = FunctionalEngine(image).run(max_instructions)
+    else:
+        stream = stream[:max_instructions]
+    return FrontendSimulation(image, config).run(stream)

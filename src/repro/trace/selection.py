@@ -1,0 +1,197 @@
+"""Trace selection: the deterministic rules that delimit traces.
+
+Both the processor's fill unit (observing the dynamic stream) and the
+preconstruction engine's trace constructors (walking static code) must
+delimit traces *identically*, or preconstructed traces will not align
+with what the processor later asks for (§2.2 of the paper).  All
+stopping rules therefore live in one place — :class:`TraceBuilder` —
+and both consumers build traces through it.
+
+Stopping rules (paper §2.2, §4.1):
+
+* maximum length of 16 instructions;
+* traces end at return instructions ("forces traces to end at return
+  instructions, so the first trace of a region following a return will
+  start at the first instruction");
+* traces end at register-indirect jumps/calls (targets are statically
+  opaque; ending there also bounds preconstruction regions);
+* the **alignment heuristic**: a trace that hits the length limit is
+  truncated so that it ends a multiple of four instructions beyond the
+  last backward branch it contains ("we use the heuristic of stopping a
+  multiple of four instructions beyond a backward branch for both the
+  base trace processor and the trace processor with preconstruction").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.engine.stream import StreamRecord
+from repro.isa import Instruction
+from repro.trace.trace import MAX_TRACE_LENGTH, Trace, TraceID
+
+
+@dataclass(frozen=True)
+class SelectionConfig:
+    """Trace-delimiting rules (ablation-tunable)."""
+
+    max_length: int = MAX_TRACE_LENGTH
+    align_multiple: int = 4     # 0 disables the alignment heuristic
+    end_at_returns: bool = True
+    end_at_indirect: bool = True
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.max_length <= MAX_TRACE_LENGTH:
+            raise ValueError("max_length must be in 1..16")
+        if self.align_multiple < 0:
+            raise ValueError("align_multiple must be >= 0")
+
+
+class TraceBuilder:
+    """Accumulates dynamic instructions and emits delimited traces.
+
+    Call :meth:`add` per instruction; a completed :class:`Trace` is
+    returned when a stopping rule fires (``None`` otherwise).  On
+    length-limit truncation the leftover instructions remain buffered
+    as the beginning of the next trace, preserving alignment.
+    """
+
+    def __init__(self, config: SelectionConfig | None = None) -> None:
+        self.config = config or SelectionConfig()
+        self._entries: list[tuple[int, Instruction, bool, int, int]] = []
+        #: Effective addresses (0 for non-memory) of the entries of the
+        #: most recently emitted trace — a side channel because traces
+        #: are cached/shared objects while addresses are per-instance.
+        self.last_addresses: tuple[int, ...] = ()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def pending_start_pc(self) -> Optional[int]:
+        return self._entries[0][0] if self._entries else None
+
+    # ------------------------------------------------------------------
+    def add(self, pc: int, inst: Instruction, taken: bool,
+            next_pc: int, mem_addr: int = 0) -> Optional[Trace]:
+        """Append one dynamic instruction; return a trace if one completed."""
+        self._entries.append((pc, inst, taken, next_pc, mem_addr))
+        cfg = self.config
+        if cfg.end_at_returns and inst.is_return:
+            return self._emit(len(self._entries))
+        if cfg.end_at_indirect and inst.is_indirect:
+            return self._emit(len(self._entries))
+        if len(self._entries) >= cfg.max_length:
+            return self._emit(self._aligned_cut())
+        return None
+
+    def flush(self) -> Optional[Trace]:
+        """Emit whatever is buffered (end of stream / region).
+
+        The result is marked ``partial``: it was delimited by the
+        measurement boundary, not by a selection rule, so its identity
+        may collide with a rule-delimited trace and it must not be
+        installed in any trace store.
+        """
+        if not self._entries:
+            return None
+        return self._emit(len(self._entries), partial=True)
+
+    def reset(self) -> None:
+        self._entries.clear()
+
+    def snapshot_entries(self
+                         ) -> list[tuple[int, Instruction, bool, int, int]]:
+        """Copy of the buffered entries (for constructor backtracking)."""
+        return list(self._entries)
+
+    def restore_entries(
+            self,
+            entries: list[tuple[int, Instruction, bool, int, int]]
+    ) -> None:
+        """Replace the buffer (constructor decision-point resumption)."""
+        self._entries = list(entries)
+
+    # ------------------------------------------------------------------
+    def _aligned_cut(self) -> int:
+        """Length to cut at when the size limit fires.
+
+        With alignment enabled and a backward branch present, the cut
+        lands ``k * align_multiple`` instructions beyond the last
+        backward branch (largest such length not exceeding the limit);
+        otherwise the full buffer is emitted.
+        """
+        n = len(self._entries)
+        align = self.config.align_multiple
+        if not align:
+            return n
+        last_backward = None
+        for i in range(n - 1, -1, -1):
+            if self._entries[i][1].is_backward_branch():
+                last_backward = i
+                break
+        if last_backward is None:
+            return n
+        beyond = n - last_backward - 1
+        cut = last_backward + 1 + (beyond // align) * align
+        return cut
+
+    def _emit(self, cut: int, partial: bool = False) -> Trace:
+        assert 0 < cut <= len(self._entries)
+        entries = self._entries[:cut]
+        self._entries = self._entries[cut:]
+        pcs = tuple(e[0] for e in entries)
+        instructions = tuple(e[1] for e in entries)
+        outcomes = tuple(e[2] for e in entries
+                         if e[1].is_conditional_branch)
+        self.last_addresses = tuple(e[4] for e in entries)
+        last_pc, last_inst, _, last_next = entries[-1][:4]
+        return Trace(
+            trace_id=TraceID(start_pc=pcs[0], outcomes=outcomes),
+            instructions=instructions,
+            pcs=pcs,
+            next_pc=last_next,
+            ends_in_call=last_inst.is_call,
+            ends_in_return=last_inst.is_return,
+            partial=partial,
+        )
+
+
+class TraceSelector:
+    """Stream-facing wrapper: partitions a dynamic stream into traces."""
+
+    def __init__(self, config: SelectionConfig | None = None) -> None:
+        self._builder = TraceBuilder(config)
+
+    @property
+    def config(self) -> SelectionConfig:
+        return self._builder.config
+
+    def feed(self, record: StreamRecord) -> Optional[Trace]:
+        """Feed one committed instruction; returns a trace when complete."""
+        return self._builder.add(record.pc, record.inst, record.taken,
+                                 record.next_pc, record.mem_addr)
+
+    def flush(self) -> Optional[Trace]:
+        return self._builder.flush()
+
+    @property
+    def last_addresses(self) -> tuple[int, ...]:
+        """Effective addresses of the most recently emitted trace."""
+        return self._builder.last_addresses
+
+
+def traces_of_stream(stream, config: SelectionConfig | None = None
+                     ) -> list[Trace]:
+    """Partition a full dynamic stream into its trace sequence."""
+    selector = TraceSelector(config)
+    out = []
+    for record in stream:
+        trace = selector.feed(record)
+        if trace is not None:
+            out.append(trace)
+    tail = selector.flush()
+    if tail is not None:
+        out.append(tail)
+    return out

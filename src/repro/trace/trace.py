@@ -1,0 +1,89 @@
+"""Traces: snapshots of short segments of the dynamic instruction stream.
+
+A trace is identified by its starting PC and the outcomes of the
+conditional branches inside it (the paper indexes both the trace cache
+and the preconstruction buffers "by hashing the starting address of the
+trace with the branch outcomes").  Register-indirect transfers embed
+their observed targets in the identity as well, since two dynamic paths
+can otherwise share a start address and outcome vector while diverging
+at a jump table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.isa import Instruction
+
+MAX_TRACE_LENGTH = 16
+"""Paper: 'Traces have a maximum length of 16 instructions.'"""
+
+
+@dataclass(frozen=True, slots=True)
+class TraceID:
+    """Hashable identity of a trace."""
+
+    start_pc: int
+    outcomes: tuple[bool, ...]
+    indirect_targets: tuple[int, ...] = ()
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        bits = "".join("T" if o else "N" for o in self.outcomes)
+        return f"{self.start_pc:#x}/{bits or '-'}"
+
+
+@dataclass(frozen=True, slots=True)
+class Trace:
+    """A completed trace plus the metadata the frontend needs.
+
+    ``next_pc`` is the address of the dynamically next instruction after
+    the trace — where an *aligned* successor trace must begin.
+    ``ends_in_call`` / ``ends_in_return`` drive the next-trace
+    predictor's Return History Stack.
+    """
+
+    trace_id: TraceID
+    instructions: tuple[Instruction, ...]
+    pcs: tuple[int, ...]
+    next_pc: int
+    ends_in_call: bool
+    ends_in_return: bool
+    partial: bool = False
+    """True only for a trace emitted by an end-of-stream flush: it was
+    cut by the measurement boundary rather than a selection rule, so
+    its identity may collide with the properly delimited trace from the
+    same start point.  Partial traces must never be cached."""
+
+    def __post_init__(self) -> None:
+        if not self.instructions:
+            raise ValueError("empty trace")
+        if len(self.instructions) > MAX_TRACE_LENGTH:
+            raise ValueError("trace exceeds maximum length")
+        if len(self.instructions) != len(self.pcs):
+            raise ValueError("instructions/pcs length mismatch")
+        if self.pcs[0] != self.trace_id.start_pc:
+            raise ValueError("trace id start does not match first pc")
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    @property
+    def start_pc(self) -> int:
+        return self.trace_id.start_pc
+
+    @property
+    def branch_count(self) -> int:
+        return len(self.trace_id.outcomes)
+
+    def last_instruction(self) -> Instruction:
+        return self.instructions[-1]
+
+    def backward_branch_positions(self) -> tuple[int, ...]:
+        """Indices of backward conditional branches inside the trace."""
+        return tuple(i for i, inst in enumerate(self.instructions)
+                     if inst.is_backward_branch())
+
+    def blocks_touched(self, line_bytes: int = 64) -> set[int]:
+        """Cache-line addresses this trace's instructions occupy."""
+        return {pc - (pc % line_bytes) for pc in self.pcs}

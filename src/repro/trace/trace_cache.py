@@ -1,0 +1,93 @@
+"""The trace cache: 2-way set-associative, LRU, indexed by trace identity.
+
+Paper §4.1: "We vary the size of the trace cache from 64 entries up to
+1024 entries (4 Kbytes to 64 Kbytes).  The trace cache is 2-way set
+associative and uses LRU replacement."  One entry holds one trace of up
+to 16 four-byte instructions, hence 64 bytes per entry for the area
+accounting used in the Figure 5 equal-area comparisons.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.caches import LRU, SetAssociativeCache, make_policy
+from repro.trace.trace import MAX_TRACE_LENGTH, Trace, TraceID
+
+BYTES_PER_ENTRY = MAX_TRACE_LENGTH * 4
+"""Area accounting: one trace-cache entry is 64 bytes of storage."""
+
+
+def _index_trace_id(trace_id: TraceID) -> int:
+    """Set index: hash of start address folded with branch outcomes."""
+    outcome_bits = 0
+    for outcome in trace_id.outcomes:
+        outcome_bits = (outcome_bits << 1) | outcome
+    return (trace_id.start_pc >> 2) ^ (outcome_bits * 0x9E37)
+
+
+@dataclass(frozen=True)
+class TraceCacheConfig:
+    entries: int = 512
+    ways: int = 2
+    replacement: str = "lru"
+
+    def __post_init__(self) -> None:
+        if self.entries <= 0 or self.entries % self.ways:
+            raise ValueError("entries must divide evenly into ways")
+
+    @property
+    def num_sets(self) -> int:
+        return self.entries // self.ways
+
+    @property
+    def size_bytes(self) -> int:
+        return self.entries * BYTES_PER_ENTRY
+
+
+class TraceCache:
+    """Primary trace cache."""
+
+    def __init__(self, config: TraceCacheConfig | None = None) -> None:
+        self.config = config or TraceCacheConfig()
+        self._store: SetAssociativeCache[TraceID, Trace] = \
+            SetAssociativeCache(
+                num_sets=self.config.num_sets,
+                ways=self.config.ways,
+                index_fn=_index_trace_id,
+                policy=make_policy(self.config.replacement,
+                                   self.config.num_sets, self.config.ways),
+            )
+
+    # ------------------------------------------------------------------
+    def lookup(self, trace_id: TraceID) -> Optional[Trace]:
+        """Counted probe (updates LRU)."""
+        return self._store.lookup(trace_id)
+
+    def contains(self, trace_id: TraceID) -> bool:
+        """Uncounted probe, used by the preconstruction dedup check."""
+        return trace_id in self._store
+
+    def insert(self, trace: Trace) -> Optional[Trace]:
+        """Install a trace; returns the evicted trace, if any."""
+        evicted = self._store.insert(trace.trace_id, trace)
+        return evicted[1] if evicted else None
+
+    def invalidate(self, trace_id: TraceID) -> bool:
+        return self._store.invalidate(trace_id)
+
+    # ------------------------------------------------------------------
+    @property
+    def stats(self):
+        return self._store.stats
+
+    @property
+    def size_bytes(self) -> int:
+        return self.config.size_bytes
+
+    def occupancy(self) -> int:
+        return self._store.occupancy()
+
+    def resident_traces(self) -> list[Trace]:
+        return [trace for _, trace in self._store.items()]

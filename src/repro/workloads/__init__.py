@@ -1,0 +1,22 @@
+"""Synthetic workloads: parametric generator + SPECint95 stand-ins."""
+
+from repro.workloads.data import (
+    RANDOM_ARRAY_OFFSET,
+    SCRATCH_OFFSET,
+    cursor_mask,
+    fill_random_array,
+)
+from repro.workloads.generator import GeneratedWorkload, generate
+from repro.workloads.profiles import WorkloadProfile
+from repro.workloads.spec95 import (
+    LARGE_WORKING_SET,
+    SPEC95_NAMES,
+    SPEC95_PROFILES,
+    build_workload,
+)
+
+__all__ = [
+    "RANDOM_ARRAY_OFFSET", "SCRATCH_OFFSET", "cursor_mask",
+    "fill_random_array", "GeneratedWorkload", "generate", "WorkloadProfile",
+    "LARGE_WORKING_SET", "SPEC95_NAMES", "SPEC95_PROFILES", "build_workload",
+]

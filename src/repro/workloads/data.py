@@ -1,0 +1,34 @@
+"""Pseudo-random data segment driving data-dependent control flow.
+
+The generated programs read a seeded random word array through a global
+cursor register; diamond branches test masked bits of those words and
+switch constructs index jump tables with them.  This reproduces the
+*statistics* of data-dependent branching (bias mixes, switch-target
+distributions) without needing the SPEC inputs.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.program import DataSegment
+
+#: Word offset within the data segment where the random array starts.
+RANDOM_ARRAY_OFFSET = 0
+
+#: Byte offset (from the data base) of the scratch area programs may
+#: store to, kept clear of the read-only random array and jump tables.
+SCRATCH_OFFSET = 0x1_0000
+
+
+def fill_random_array(data: DataSegment, words: int, seed: int) -> int:
+    """Append ``words`` seeded random 32-bit values; returns base address."""
+    rng = random.Random(seed ^ 0xDA7A)
+    return data.extend([rng.getrandbits(32) for _ in range(words)])
+
+
+def cursor_mask(words: int) -> int:
+    """AND-mask that wraps the global cursor over the random array."""
+    if words & (words - 1):
+        raise ValueError("data array size must be a power of two")
+    return words - 1

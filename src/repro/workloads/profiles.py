@@ -1,0 +1,146 @@
+"""Workload profiles: the knobs that shape a synthetic benchmark.
+
+A profile describes the control-flow *structure* of a program — code
+footprint, loop behaviour, branch-bias mix, call topology, indirect
+dispatch — which is what trace-cache and preconstruction behaviour
+actually depends on.  The SPECint95 stand-ins in
+:mod:`repro.workloads.spec95` are instances of this dataclass tuned to
+the working-set ordering reported by the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """Parameters of one synthetic workload."""
+
+    name: str
+    seed: int = 1
+
+    # --- code footprint -------------------------------------------------
+    procedures: int = 16
+    """Number of procedures besides main (call targets form a DAG)."""
+
+    constructs_min: int = 3
+    constructs_max: int = 7
+    """Constructs (loops / diamonds / switches / calls / blocks) per
+    procedure body."""
+
+    block_min: int = 3
+    block_max: int = 8
+    """Straight-line instructions per filler block."""
+
+    # --- loops ------------------------------------------------------------
+    loop_weight: float = 0.30
+    """Relative probability that a construct is a counted loop."""
+
+    loop_trip_min: int = 2
+    loop_trip_max: int = 8
+
+    nested_loop_prob: float = 0.25
+    """Probability a loop body contains a nested construct chain."""
+
+    # --- branches ---------------------------------------------------------
+    diamond_weight: float = 0.30
+    """Relative probability that a construct is an if/else diamond on
+    pseudo-random data."""
+
+    biased_fraction: float = 0.6
+    """Fraction of diamonds whose branch is highly biased (~97% one
+    way); the rest are weak (~50/50)."""
+
+    # --- indirect dispatch --------------------------------------------------
+    switch_weight: float = 0.08
+    """Relative probability that a construct is a jump-table switch."""
+
+    switch_arms: int = 4
+    """Arms per switch (power of two)."""
+
+    # --- calls ------------------------------------------------------------
+    call_weight: float = 0.22
+    """Relative probability that a construct is a call to another
+    procedure (targets are later-indexed procedures: a DAG)."""
+
+    call_guard_prob: float = 0.0
+    """Fraction of call sites wrapped in a *phase guard*.  A guarded
+    call is active only during its phase of the driver loop: each site
+    is assigned a phase id and executes for runs of consecutive driver
+    iterations, then goes dormant while other phases run.  This gives
+    callee subtrees long revisit distances — the capacity-miss
+    behaviour of large applications (gcc's per-function pass structure,
+    go's game phases) — while keeping the guard branch *biased* within
+    any phase, which is what lets the preconstruction engine follow the
+    dominant path into or around the subtree."""
+
+    guard_phases: int = 4
+    """Number of rotating phases (power of two).  A guarded call is
+    active in 1 of ``guard_phases`` runs."""
+
+    guard_run_shift: int = 3
+    """log2 of the run length: a phase lasts ``2**guard_run_shift``
+    consecutive driver iterations."""
+
+    fptr_call_prob: float = 0.0
+    """Fraction of call sites that dispatch through a function-pointer
+    table (``JALR``) instead of a direct ``JAL`` — the interpreter /
+    funcall idiom.  Indirect calls are statically opaque to the
+    preconstruction engine (paths terminate there), so this knob
+    controls how much of the call graph preconstruction can see."""
+
+    fanout: int = 3
+    """Procedures directly called from main each driver iteration."""
+
+    # --- misc ------------------------------------------------------------
+    mul_fraction: float = 0.10
+    """Fraction of filler ALU instructions that are multiplies."""
+
+    load_fraction: float = 0.12
+    store_fraction: float = 0.06
+    """Fractions of filler instructions that touch memory."""
+
+    data_words: int = 1024
+    """Size of the pseudo-random data array driving data-dependent
+    branches (power of two)."""
+
+    def __post_init__(self) -> None:
+        if self.procedures < 1:
+            raise ValueError("need at least one procedure")
+        if self.switch_arms & (self.switch_arms - 1):
+            raise ValueError("switch_arms must be a power of two")
+        if self.data_words & (self.data_words - 1):
+            raise ValueError("data_words must be a power of two")
+        if not 0.0 <= self.biased_fraction <= 1.0:
+            raise ValueError("biased_fraction must be a probability")
+        if self.constructs_min > self.constructs_max:
+            raise ValueError("constructs_min > constructs_max")
+        if self.block_min > self.block_max:
+            raise ValueError("block_min > block_max")
+        if self.fanout < 1:
+            raise ValueError("fanout must be >= 1")
+        if self.guard_phases & (self.guard_phases - 1):
+            raise ValueError("guard_phases must be a power of two")
+        if self.guard_run_shift < 0:
+            raise ValueError("guard_run_shift must be >= 0")
+        if not 0.0 <= self.call_guard_prob <= 1.0:
+            raise ValueError("call_guard_prob must be a probability")
+        if not 0.0 <= self.fptr_call_prob <= 1.0:
+            raise ValueError("fptr_call_prob must be a probability")
+
+    @property
+    def construct_weights(self) -> dict[str, float]:
+        """Normalised construct mix (the remainder is filler blocks)."""
+        weights = {
+            "loop": self.loop_weight,
+            "diamond": self.diamond_weight,
+            "switch": self.switch_weight,
+            "call": self.call_weight,
+        }
+        total = sum(weights.values())
+        if total > 1.0:
+            weights = {k: v / total for k, v in weights.items()}
+            total = 1.0
+        weights["block"] = 1.0 - total
+        return weights

@@ -1,0 +1,36 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "gcc" in out and "vortex" in out
+
+    def test_point(self, capsys):
+        assert main(["--instructions", "4000", "point", "compress",
+                     "--tc", "64"]) == 0
+        out = capsys.readouterr().out
+        assert "trace_misses_per_ki" in out
+
+    def test_point_with_preconstruction(self, capsys):
+        assert main(["--instructions", "4000", "point", "compress",
+                     "--tc", "64", "--pb", "32"]) == 0
+        assert "buffer_hits" in capsys.readouterr().out
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["point", "spice"])
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_dynamic_smoke(self, capsys):
+        assert main(["--instructions", "6000", "dynamic",
+                     "--benchmarks", "compress"]) == 0
+        assert "trajectory" in capsys.readouterr().out

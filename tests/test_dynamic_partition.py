@@ -1,0 +1,87 @@
+"""Tests for the dynamic TC/PB partitioning extension."""
+
+import pytest
+
+from repro.analysis import frontend_config
+from repro.engine import FunctionalEngine
+from repro.sim import (
+    DynamicPartitionConfig,
+    DynamicPartitionFrontend,
+    run_dynamic_frontend,
+)
+from repro.workloads import build_workload
+
+INSTRUCTIONS = 25_000
+
+
+@pytest.fixture(scope="module")
+def gcc():
+    workload = build_workload("gcc")
+    return workload.image, FunctionalEngine(workload.image).run(INSTRUCTIONS)
+
+
+class TestDynamicPartition:
+    def test_requires_preconstruction(self, gcc):
+        image, _ = gcc
+        with pytest.raises(ValueError):
+            DynamicPartitionFrontend(image, frontend_config(512, 0))
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            DynamicPartitionConfig(total_entries=128, initial_pb_entries=256)
+        with pytest.raises(ValueError):
+            DynamicPartitionConfig(step_entries=0)
+        with pytest.raises(ValueError):
+            DynamicPartitionConfig(hold_tolerance=-0.1)
+
+    def test_partition_conserves_total(self, gcc):
+        image, stream = gcc
+        partition = DynamicPartitionConfig(epoch_traces=300)
+        sim = DynamicPartitionFrontend(image, frontend_config(384, 128),
+                                       partition)
+        sim.run(stream)
+        assert (sim.trace_cache.config.entries + sim.pb_entries
+                == partition.total_entries)
+
+    def test_bounds_respected(self, gcc):
+        image, stream = gcc
+        partition = DynamicPartitionConfig(
+            epoch_traces=200, min_pb_entries=64, max_pb_entries=192)
+        sim = DynamicPartitionFrontend(image, frontend_config(384, 128),
+                                       partition)
+        sim.run(stream)
+        for event in sim.events:
+            assert 64 <= event.pb_entries <= 192
+
+    def test_migration_preserves_traces(self, gcc):
+        """Repartitioning keeps resident traces (up to new capacity)."""
+        image, stream = gcc
+        sim = DynamicPartitionFrontend(image, frontend_config(384, 128),
+                                       DynamicPartitionConfig())
+        # Warm up, then force a repartition and compare occupancy.
+        for record in stream[:8000]:
+            trace = sim.selector.feed(record)
+            if trace is not None:
+                sim._process_trace(trace)
+        before = sim.trace_cache.occupancy()
+        sim._apply_partition(sim.pb_entries + 32)
+        after = sim.trace_cache.occupancy()
+        # The TC shrank by 32 entries; at most that many traces lost.
+        assert after >= before - 32 - sim.trace_cache.config.ways
+
+    def test_events_recorded(self, gcc):
+        image, stream = gcc
+        _, events = run_dynamic_frontend(
+            image, frontend_config(384, 128), stream,
+            DynamicPartitionConfig(epoch_traces=300))
+        assert events
+        assert all(event.epoch_miss_rate >= 0 for event in events)
+        assert events[0].at_traces >= 300
+
+    def test_runs_match_normal_accounting(self, gcc):
+        image, stream = gcc
+        result, _ = run_dynamic_frontend(image, frontend_config(384, 128),
+                                         stream)
+        stats = result.stats
+        assert stats.instructions == len(stream)
+        assert stats.trace_hits + stats.trace_misses == stats.traces

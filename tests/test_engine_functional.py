@@ -1,0 +1,194 @@
+"""Unit tests for the functional execution engine."""
+
+import pytest
+
+from repro.engine import ExecutionError, FunctionalEngine
+from repro.engine.state import to_signed, to_unsigned
+from repro.isa import Opcode, assemble
+from repro.program import ProgramImage
+
+
+def _image_from_asm(source: str, data: dict[int, int] | None = None,
+                    base: int = 0x1000) -> ProgramImage:
+    insts, labels = assemble(source, base=base)
+    return ProgramImage(instructions=insts, code_base=base, entry=base,
+                        labels=labels, data=data or {})
+
+
+def _run(source: str, max_instructions: int = 10_000, data=None):
+    engine = FunctionalEngine(_image_from_asm(source, data=data))
+    stream = engine.run(max_instructions)
+    return engine, stream
+
+
+class TestArithmetic:
+    def test_addi_and_add(self):
+        engine, _ = _run("""
+            addi r1, r0, 7
+            addi r2, r0, 5
+            add  r3, r1, r2
+            halt
+        """)
+        assert engine.state.read(3) == 12
+
+    def test_sub_wraps_to_32_bits(self):
+        engine, _ = _run("""
+            addi r1, r0, 0
+            addi r2, r0, 1
+            sub  r3, r1, r2
+            halt
+        """)
+        assert engine.state.read(3) == 0xFFFF_FFFF
+        assert to_signed(engine.state.read(3)) == -1
+
+    def test_mul_div(self):
+        engine, _ = _run("""
+            addi r1, r0, 6
+            addi r2, r0, 7
+            mul  r3, r1, r2
+            div  r4, r3, r2
+            halt
+        """)
+        assert engine.state.read(3) == 42
+        assert engine.state.read(4) == 6
+
+    def test_div_by_zero_defined_as_zero(self):
+        engine, _ = _run("""
+            addi r1, r0, 5
+            div  r2, r1, r0
+            halt
+        """)
+        assert engine.state.read(2) == 0
+
+    def test_shifts_and_logic(self):
+        engine, _ = _run("""
+            addi r1, r0, 3
+            slli r2, r1, 4
+            srli r3, r2, 2
+            ori  r4, r2, 1
+            andi r5, r4, 0xF
+            xor  r6, r1, r1
+            halt
+        """)
+        assert engine.state.read(2) == 48
+        assert engine.state.read(3) == 12
+        assert engine.state.read(4) == 49
+        assert engine.state.read(5) == 1
+        assert engine.state.read(6) == 0
+
+    def test_lui_and_slt(self):
+        engine, _ = _run("""
+            lui  r1, 1
+            slti r2, r0, 1
+            slt  r3, r1, r0
+            halt
+        """)
+        assert engine.state.read(1) == 0x1_0000
+        assert engine.state.read(2) == 1
+        assert engine.state.read(3) == 0
+
+    def test_writes_to_r0_discarded(self):
+        engine, _ = _run("""
+            addi r0, r0, 99
+            halt
+        """)
+        assert engine.state.read(0) == 0
+
+
+class TestMemory:
+    def test_store_load_round_trip(self):
+        engine, _ = _run("""
+            lui  r1, 64          # 0x400000 data base
+            addi r2, r0, 1234
+            sw   r2, 8(r1)
+            lw   r3, 8(r1)
+            halt
+        """)
+        assert engine.state.read(3) == 1234
+
+    def test_initial_data_visible(self):
+        engine, _ = _run("""
+            lui r1, 64
+            lw  r2, 0(r1)
+            halt
+        """, data={0x40_0000: 777})
+        assert engine.state.read(2) == 777
+
+    def test_uninitialised_memory_reads_zero(self):
+        engine, _ = _run("""
+            lui r1, 64
+            lw  r2, 100(r1)
+            halt
+        """)
+        assert engine.state.read(2) == 0
+
+
+class TestControlFlow:
+    def test_loop_executes_correct_iterations(self):
+        engine, stream = _run("""
+            addi r1, r0, 0
+            addi r2, r0, 5
+        loop:
+            addi r1, r1, 1
+            blt  r1, r2, loop
+            halt
+        """)
+        assert engine.state.read(1) == 5
+        branch_records = [r for r in stream if r.inst.is_conditional_branch]
+        assert sum(r.taken for r in branch_records) == 4
+        assert sum(not r.taken for r in branch_records) == 1
+
+    def test_call_and_return(self):
+        engine, stream = _run("""
+            jal  double
+            halt
+        double:
+            add  r1, r1, r1
+            jr   ra
+        """)
+        returns = [r for r in stream if r.inst.is_return]
+        assert len(returns) == 1
+        # Return goes back to the instruction after the JAL.
+        assert returns[0].next_pc == 0x1004
+
+    def test_stream_next_pc_chains(self):
+        _, stream = _run("""
+            addi r1, r0, 3
+        loop:
+            addi r1, r1, -1
+            bne  r1, r0, loop
+            halt
+        """)
+        for prev, cur in zip(stream, stream[1:]):
+            assert prev.next_pc == cur.pc
+
+    def test_wild_indirect_jump_raises(self):
+        engine = FunctionalEngine(_image_from_asm("""
+            addi r1, r0, 12
+            jr   r1
+        """))
+        with pytest.raises(ExecutionError):
+            engine.run(10)
+
+    def test_halt_stops_engine(self):
+        engine, stream = _run("halt")
+        assert engine.halted
+        assert len(stream) == 1
+        with pytest.raises(ExecutionError):
+            engine.step()
+
+    def test_budget_bounds_run(self):
+        _, stream = _run("""
+        spin:
+            addi r1, r1, 1
+            j spin
+        """, max_instructions=100)
+        assert len(stream) == 100
+
+
+class TestHelpers:
+    def test_signed_unsigned_round_trip(self):
+        assert to_signed(to_unsigned(-5)) == -5
+        assert to_unsigned(-1) == 0xFFFF_FFFF
+        assert to_signed(0x7FFF_FFFF) == 0x7FFF_FFFF
+        assert to_signed(0x8000_0000) == -0x8000_0000

@@ -1,0 +1,75 @@
+"""Detailed frontend-policy tests: prediction gating, penalties, pacing."""
+
+import pytest
+
+from repro.engine import FunctionalEngine
+from repro.isa import assemble
+from repro.program import ProgramImage
+from repro.sim import FrontendConfig, FrontendSimulation
+from repro.trace import TraceCacheConfig
+
+# A two-phase loop nest that exercises prediction + trace reuse.
+SOURCE = """
+main:
+    addi r9, r0, 40
+outer:
+    addi r1, r0, 0
+inner:
+    addi r1, r1, 1
+    addi r2, r1, 3
+    addi r3, r2, 1
+    blt  r1, r9, inner
+    addi r9, r9, -1
+    bne  r9, r0, outer
+    halt
+"""
+
+
+@pytest.fixture(scope="module")
+def stream():
+    insts, labels = assemble(SOURCE, base=0x1000)
+    image = ProgramImage(instructions=insts, code_base=0x1000, entry=0x1000,
+                        labels=labels)
+    return image, FunctionalEngine(image).run(6000)
+
+
+def _run(stream_fixture, **kwargs):
+    image, stream = stream_fixture
+    config = FrontendConfig(trace_cache=TraceCacheConfig(entries=64),
+                            **kwargs)
+    return FrontendSimulation(image, config).run(stream).stats
+
+
+class TestPredictionGating:
+    def test_first_trace_has_no_prediction(self, stream):
+        stats = _run(stream)
+        assert stats.ntp_none >= 1
+
+    def test_hot_loop_converges_to_hits(self, stream):
+        stats = _run(stream)
+        # A tight loop nest: overwhelmingly trace-cache supplied.
+        assert stats.trace_hit_fraction > 0.9
+        assert stats.ntp_accuracy > 0.7
+
+
+class TestCycleAccounting:
+    def test_mispredict_penalty_visible_in_cycles(self, stream):
+        cheap = _run(stream, trace_mispredict_penalty=1)
+        dear = _run(stream, trace_mispredict_penalty=40)
+        assert dear.cycles > cheap.cycles
+        # Frontend path counts identical; only the penalty differs.
+        assert dear.trace_misses == cheap.trace_misses
+
+    def test_retire_ipc_paces_cycles(self, stream):
+        slow = _run(stream, retire_ipc=1.0)
+        fast = _run(stream, retire_ipc=8.0)
+        assert slow.cycles > fast.cycles
+
+    def test_fetch_width_matters_on_slow_path(self, stream):
+        narrow = _run(stream, fetch_width=1)
+        wide = _run(stream, fetch_width=16)
+        assert narrow.cycles >= wide.cycles
+
+    def test_fetch_ipc_bounded(self, stream):
+        stats = _run(stream)
+        assert 0 < stats.fetch_ipc <= 16

@@ -1,0 +1,104 @@
+"""Tests for the full-processor timing simulation (Figures 6/8 model)."""
+
+import pytest
+
+from repro.core import PreconstructionConfig
+from repro.engine import FunctionalEngine
+from repro.preprocess import PreprocessConfig
+from repro.processor import (
+    BackendConfig,
+    ProcessorConfig,
+    ProcessorSimulation,
+    run_processor,
+)
+from repro.sim import FrontendConfig
+from repro.trace import TraceCacheConfig
+from repro.workloads import build_workload
+
+INSTRUCTIONS = 25_000
+
+
+@pytest.fixture(scope="module")
+def vortex():
+    workload = build_workload("vortex")
+    stream = FunctionalEngine(workload.image).run(INSTRUCTIONS)
+    return workload.image, stream
+
+
+def _config(tc=256, pb=0, preprocess=False, **backend_kwargs):
+    return ProcessorConfig(
+        frontend=FrontendConfig(
+            trace_cache=TraceCacheConfig(entries=tc),
+            preconstruction=(PreconstructionConfig(buffer_entries=pb)
+                             if pb else None)),
+        backend=BackendConfig(**backend_kwargs),
+        preprocess=PreprocessConfig() if preprocess else None)
+
+
+class TestProcessorTiming:
+    def test_ipc_in_plausible_range(self, vortex):
+        image, stream = vortex
+        stats = run_processor(image, _config(), INSTRUCTIONS,
+                              stream=stream).stats
+        # An 8-wide trace processor on integer code: IPC well above a
+        # scalar machine, well below the width.
+        assert 0.8 < stats.ipc < 6.0
+
+    def test_cycles_monotone_in_cache_size(self, vortex):
+        image, stream = vortex
+        small = run_processor(image, _config(tc=64), INSTRUCTIONS,
+                              stream=stream).stats
+        large = run_processor(image, _config(tc=1024), INSTRUCTIONS,
+                              stream=stream).stats
+        assert large.cycles < small.cycles
+
+    def test_preconstruction_helps_when_misses_dominate(self, vortex):
+        image, stream = vortex
+        base = run_processor(image, _config(tc=128), INSTRUCTIONS,
+                             stream=stream).stats
+        pre = run_processor(image, _config(tc=128, pb=128), INSTRUCTIONS,
+                            stream=stream).stats
+        assert pre.trace_misses < base.trace_misses
+        assert pre.cycles < base.cycles
+
+    def test_preprocessing_speeds_up_execution(self, vortex):
+        image, stream = vortex
+        base = run_processor(image, _config(), INSTRUCTIONS,
+                             stream=stream).stats
+        prep = run_processor(image, _config(preprocess=True), INSTRUCTIONS,
+                             stream=stream).stats
+        assert prep.cycles < base.cycles
+        # Same frontend behaviour: preprocessing is backend-only.
+        assert prep.trace_misses == base.trace_misses
+
+    def test_stats_conservation(self, vortex):
+        image, stream = vortex
+        stats = run_processor(image, _config(), INSTRUCTIONS,
+                              stream=stream).stats
+        assert stats.instructions == len(stream)
+        assert stats.trace_hits + stats.trace_misses == stats.traces
+        assert (stats.ntp_correct + stats.ntp_wrong + stats.ntp_none
+                == stats.traces)
+
+    def test_deterministic(self, vortex):
+        image, stream = vortex
+        a = run_processor(image, _config(tc=128, pb=128), INSTRUCTIONS,
+                          stream=stream).stats
+        b = run_processor(image, _config(tc=128, pb=128), INSTRUCTIONS,
+                          stream=stream).stats
+        assert (a.cycles, a.trace_misses, a.buffer_hits) == \
+            (b.cycles, b.trace_misses, b.buffer_hits)
+
+    def test_more_pes_do_not_hurt(self, vortex):
+        image, stream = vortex
+        four = run_processor(image, _config(num_pes=4), INSTRUCTIONS,
+                             stream=stream).stats
+        eight = run_processor(image, _config(num_pes=8), INSTRUCTIONS,
+                              stream=stream).stats
+        assert eight.cycles <= four.cycles * 1.02
+
+    def test_empty_stream(self, vortex):
+        image, _ = vortex
+        result = ProcessorSimulation(image, _config()).run([])
+        assert result.stats.cycles == 0
+        assert result.stats.ipc == 0.0

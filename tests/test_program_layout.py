@@ -1,0 +1,145 @@
+"""Unit tests for CFG construction and the layout/linking pass."""
+
+import pytest
+
+from repro.isa import Instruction, Opcode
+from repro.program import (
+    BasicBlock,
+    Call,
+    ControlFlowGraph,
+    DataSegment,
+    LayoutError,
+    Procedure,
+    Reloc,
+    TermKind,
+    Terminator,
+    layout,
+)
+
+
+def _leaf(name: str) -> Procedure:
+    """A one-block procedure that just returns."""
+    cfg = ControlFlowGraph()
+    cfg.add(BasicBlock(
+        label=name,
+        body=[Instruction(Opcode.ADDI, rd=1, rs1=1, imm=1)],
+        terminator=Terminator(TermKind.RETURN),
+    ))
+    return Procedure(name=name, cfg=cfg)
+
+
+def _main_calling(callee: str) -> Procedure:
+    cfg = ControlFlowGraph()
+    cfg.add(BasicBlock(
+        label="main",
+        body=[Call(callee)],
+        terminator=Terminator(TermKind.RETURN),
+    ))
+    return Procedure(name="main", cfg=cfg)
+
+
+class TestLayoutBasics:
+    def test_stub_then_entry(self):
+        image = layout([_main_calling("leaf"), _leaf("leaf")], entry="main")
+        stub = image.fetch(image.entry)
+        assert stub.op is Opcode.JAL
+        assert stub.imm == image.labels["main"]
+        assert image.fetch(image.entry + 4).op is Opcode.HALT
+
+    def test_call_resolved_to_callee_address(self):
+        image = layout([_main_calling("leaf"), _leaf("leaf")], entry="main")
+        call = image.fetch(image.labels["main"])
+        assert call.op is Opcode.JAL
+        assert call.imm == image.labels["leaf"]
+
+    def test_branch_immediates_are_pc_relative(self):
+        cfg = ControlFlowGraph()
+        cfg.add(BasicBlock(
+            label="main",
+            terminator=Terminator(TermKind.FALLTHROUGH, targets=("main:loop",)),
+        ))
+        cfg.add(BasicBlock(
+            label="main:loop",
+            body=[Instruction(Opcode.ADDI, rd=1, rs1=1, imm=1)],
+            terminator=Terminator(
+                TermKind.BRANCH, targets=("main:loop", "main:done"),
+                branch_op=Opcode.BLT, rs1=1, rs2=2),
+        ))
+        cfg.add(BasicBlock(label="main:done",
+                           terminator=Terminator(TermKind.RETURN)))
+        image = layout([Procedure("main", cfg)], entry="main")
+        loop_addr = image.labels["main:loop"]
+        branch_pc = loop_addr + 4  # one body instruction before the branch
+        branch = image.fetch(branch_pc)
+        assert branch.op is Opcode.BLT
+        assert branch_pc + branch.imm == loop_addr
+        assert branch.is_backward_branch()
+
+    def test_fallthrough_to_next_block_emits_nothing(self):
+        cfg = ControlFlowGraph()
+        cfg.add(BasicBlock(
+            label="main",
+            body=[Instruction(Opcode.NOP)],
+            terminator=Terminator(TermKind.FALLTHROUGH, targets=("main:b",)),
+        ))
+        cfg.add(BasicBlock(label="main:b",
+                           terminator=Terminator(TermKind.RETURN)))
+        image = layout([Procedure("main", cfg)], entry="main")
+        # stub(2) + nop + jr = 4 instructions, no inserted J
+        assert image.code_size == 4
+
+    def test_fallthrough_to_distant_block_inserts_jump(self):
+        cfg = ControlFlowGraph()
+        cfg.add(BasicBlock(
+            label="main",
+            terminator=Terminator(TermKind.FALLTHROUGH, targets=("main:far",)),
+        ))
+        cfg.add(BasicBlock(label="main:near",
+                           terminator=Terminator(TermKind.RETURN)))
+        cfg.add(BasicBlock(label="main:far",
+                           terminator=Terminator(TermKind.RETURN)))
+        image = layout([Procedure("main", cfg)], entry="main")
+        inserted = image.fetch(image.labels["main"])
+        assert inserted.op is Opcode.J
+        assert inserted.imm == image.labels["main:far"]
+
+
+class TestLayoutErrors:
+    def test_missing_entry(self):
+        with pytest.raises(LayoutError):
+            layout([_leaf("leaf")], entry="main")
+
+    def test_duplicate_procedures(self):
+        with pytest.raises(LayoutError):
+            layout([_leaf("p"), _leaf("p")], entry="p")
+
+    def test_undefined_call_target(self):
+        with pytest.raises(LayoutError):
+            layout([_main_calling("ghost")], entry="main")
+
+    def test_cfg_validation_catches_bad_successor(self):
+        cfg = ControlFlowGraph()
+        cfg.add(BasicBlock(
+            label="main",
+            terminator=Terminator(TermKind.JUMP, targets=("main:missing",)),
+        ))
+        with pytest.raises(ValueError):
+            layout([Procedure("main", cfg)], entry="main")
+
+
+class TestDataSegment:
+    def test_relocations_resolve_to_code_addresses(self):
+        data = DataSegment()
+        table_addr = data.extend([Reloc("leaf"), Reloc("leaf", addend=4), 42])
+        image = layout([_main_calling("leaf"), _leaf("leaf")], entry="main",
+                       data=data)
+        leaf = image.labels["leaf"]
+        assert image.data[table_addr] == leaf
+        assert image.data[table_addr + 4] == leaf + 4
+        assert image.data[table_addr + 8] == 42
+
+    def test_append_returns_addresses(self):
+        data = DataSegment(base=0x5000)
+        first = data.append(1)
+        second = data.append(2)
+        assert (first, second) == (0x5000, 0x5004)
