@@ -1,0 +1,38 @@
+"""Benchmark: static-analysis wall time on the largest workloads.
+
+The analyzer runs inside the generator gate on every ``generate()``
+call, so its cost is paid by every experiment in the harness — this
+benchmark keeps that cost visible.  It measures the full pipeline
+(CFG recovery, dominators/loops, call graph, all lint rules, seed
+computation) on the two largest generated images.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+from repro.static import analyze_image
+from repro.workloads import build_workload
+
+#: The two largest profiles by static code size.
+LARGEST = ("gcc", "vortex")
+
+
+def test_static_analysis_wall_time(benchmark):
+    """Full static pipeline over the largest images."""
+    workloads = {name: build_workload(name) for name in LARGEST}
+
+    def experiment():
+        return {name: analyze_image(wl.image, intents=wl.branch_intents,
+                                    name=name)
+                for name, wl in workloads.items()}
+
+    reports = run_once(benchmark, experiment)
+    print()
+    print(f"{'bench':8s} {'insts':>7s} {'blocks':>7s} {'loops':>6s} "
+          f"{'seeds':>6s} {'findings':>9s}")
+    for name, report in reports.items():
+        print(f"{name:8s} {report.instructions:7d} "
+              f"{report.basic_blocks:7d} {report.natural_loops:6d} "
+              f"{len(report.seeds):6d} {len(report.findings):9d}")
+        assert report.findings == []
+        assert report.seeds

@@ -13,7 +13,11 @@ A from-scratch trace-processor simulation stack:
 * :mod:`repro.preprocess` / :mod:`repro.processor` — fill-unit
   preprocessing and the trace-processor timing model;
 * :mod:`repro.sim` / :mod:`repro.analysis` — simulation drivers and
-  the per-table / per-figure experiment reproductions.
+  the per-table / per-figure experiment reproductions;
+* :mod:`repro.static` — static binary analysis over linked images:
+  CFG recovery, dominators/natural loops, call graph, the program
+  verifier behind ``python -m repro analyze``, and static region
+  seeding for ``--static-seed`` runs.
 
 Quickstart::
 
@@ -25,6 +29,33 @@ Quickstart::
     print(base.trace_miss_rate_per_ki, "->", pre.trace_miss_rate_per_ki)
 """
 
-__version__ = "1.0.0"
+from repro.static import (
+    LintFinding,
+    RecoveredCFG,
+    Severity,
+    StaticAnalysisReport,
+    StaticCallGraph,
+    StaticSeed,
+    analyze_image,
+    compute_static_seeds,
+    recover_call_graph,
+    recover_cfg,
+    verify_image,
+)
 
-__all__ = ["__version__"]
+__version__ = "1.1.0"
+
+__all__ = [
+    "__version__",
+    "LintFinding",
+    "RecoveredCFG",
+    "Severity",
+    "StaticAnalysisReport",
+    "StaticCallGraph",
+    "StaticSeed",
+    "analyze_image",
+    "compute_static_seeds",
+    "recover_call_graph",
+    "recover_cfg",
+    "verify_image",
+]

@@ -12,7 +12,7 @@ the ``REPRO_INSTRUCTIONS`` environment variable.
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Optional
 
 from repro.core import PreconstructionConfig
@@ -54,20 +54,23 @@ class StreamCache:
         return self._streams[benchmark]
 
 
-def frontend_config(tc_entries: int, pb_entries: int = 0) -> FrontendConfig:
+def frontend_config(tc_entries: int, pb_entries: int = 0,
+                    static_seed: bool = False) -> FrontendConfig:
     """Standard frontend configuration for a TC/PB size point."""
     precon = (PreconstructionConfig(buffer_entries=pb_entries)
               if pb_entries else None)
     return FrontendConfig(trace_cache=TraceCacheConfig(entries=tc_entries),
-                          preconstruction=precon)
+                          preconstruction=precon,
+                          static_seed=static_seed)
 
 
 def run_frontend_point(cache: StreamCache, benchmark: str,
-                       tc_entries: int, pb_entries: int = 0
-                       ) -> FrontendStats:
+                       tc_entries: int, pb_entries: int = 0,
+                       static_seed: bool = False) -> FrontendStats:
     """One frontend simulation at a (benchmark, TC, PB) point."""
     result = run_frontend(cache.image(benchmark),
-                          frontend_config(tc_entries, pb_entries),
+                          frontend_config(tc_entries, pb_entries,
+                                          static_seed=static_seed),
                           cache.instructions,
                           stream=cache.stream(benchmark))
     return result.stats

@@ -3,7 +3,8 @@
 Usage::
 
     python -m repro list
-    python -m repro point gcc --tc 256 --pb 256
+    python -m repro analyze gcc [--json]
+    python -m repro point gcc --tc 256 --pb 256 [--static-seed]
     python -m repro figure5 --benchmarks gcc go --instructions 60000
     python -m repro tables
     python -m repro figure6
@@ -47,12 +48,21 @@ def _parser() -> argparse.ArgumentParser:
 
     sub.add_parser("list", help="list the SPECint95 stand-in benchmarks")
 
+    analyze = sub.add_parser(
+        "analyze", help="static analysis + lint report for one benchmark")
+    analyze.add_argument("benchmark", choices=SPEC95_NAMES)
+    analyze.add_argument("--json", action="store_true",
+                         help="emit the full report as deterministic JSON")
+
     point = sub.add_parser("point", help="one frontend configuration point")
     point.add_argument("benchmark", choices=SPEC95_NAMES)
     point.add_argument("--tc", type=int, default=256,
                        help="trace cache entries")
     point.add_argument("--pb", type=int, default=0,
                        help="preconstruction buffer entries (0 = none)")
+    point.add_argument("--static-seed", action="store_true",
+                       help="prime the start-point stack with statically "
+                            "computed region seeds")
 
     for name, helptext in (
             ("figure5", "miss rate vs combined TC+PB size"),
@@ -76,9 +86,24 @@ def main(argv: Sequence[str] | None = None) -> int:
             print(name)
         return 0
 
+    if args.command == "analyze":
+        from repro.static import analyze_image, format_report
+        from repro.workloads import build_workload
+
+        workload = build_workload(args.benchmark)
+        report = analyze_image(workload.image,
+                               intents=workload.branch_intents,
+                               name=args.benchmark)
+        if args.json:
+            print(report.to_json())
+        else:
+            print(format_report(report))
+        return 0 if report.ok else 1
+
     cache = StreamCache(instructions=args.instructions)
     if args.command == "point":
-        stats = run_frontend_point(cache, args.benchmark, args.tc, args.pb)
+        stats = run_frontend_point(cache, args.benchmark, args.tc, args.pb,
+                                   static_seed=args.static_seed)
         for key, value in stats.summary().items():
             print(f"{key:32s} {value:12.3f}")
         return 0

@@ -23,8 +23,9 @@ Orchestrates everything in §2-§3:
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Optional, Sequence
 
 from repro.branch import BimodalPredictor
 from repro.caches import InstructionCache, PrefetchCache
@@ -34,7 +35,7 @@ from repro.core.preconstructor import (
     StepResult,
     TraceConstructor,
 )
-from repro.core.region import Region, StartPoint
+from repro.core.region import Region
 from repro.core.start_stack import StartPointStack
 from repro.isa import INSTRUCTION_BYTES
 from repro.program import ProgramImage
@@ -77,6 +78,7 @@ class PreconstructionStats:
     idle_cycles_offered: int = 0
     decode_steps: int = 0
     port_cycles_used: int = 0
+    static_seeds_offered: int = 0
 
 
 class PreconstructionEngine:
@@ -85,7 +87,8 @@ class PreconstructionEngine:
     def __init__(self, image: ProgramImage, icache: InstructionCache,
                  bimodal: BimodalPredictor, trace_cache: TraceCache,
                  config: PreconstructionConfig | None = None,
-                 selection: SelectionConfig | None = None) -> None:
+                 selection: SelectionConfig | None = None,
+                 static_seeds: Sequence[int] | None = None) -> None:
         self.image = image
         self.icache = icache
         self.bimodal = bimodal
@@ -110,6 +113,26 @@ class PreconstructionEngine:
         self._regions_by_seq: dict[int, Region] = {}
         self._next_seq = 0
         self.stats = PreconstructionStats()
+        #: Statically precomputed start points (best-first), fed to the
+        #: stack at startup and whenever the dynamic cues run dry.
+        self._static_seeds: deque[int] = deque(static_seeds or ())
+        self._refill_from_seeds()
+
+    # ------------------------------------------------------------------
+    # Static seeding: prime the start-point stack from a precomputed
+    # best-first list (call returns + loop exits found by the static
+    # analyzer) instead of waiting for the dispatch stream to reveal
+    # them.  Seeds are pushed in reverse so the best one sits on top.
+    # ------------------------------------------------------------------
+    def _refill_from_seeds(self) -> None:
+        if not self._static_seeds or len(self.stack):
+            return
+        batch: list[int] = []
+        while self._static_seeds and len(batch) < self.config.start_stack_depth:
+            batch.append(self._static_seeds.popleft())
+        for start_pc in reversed(batch):
+            if self.stack.push(start_pc):
+                self.stats.static_seeds_offered += 1
 
     # ------------------------------------------------------------------
     # Region priority seen by the buffer replacement policy.
@@ -184,6 +207,7 @@ class PreconstructionEngine:
         if idle_cycles <= 0:
             return
         self.stats.idle_cycles_offered += idle_cycles
+        self._refill_from_seeds()
         port_budget = idle_cycles
         decode_budget = idle_cycles * len(self.constructors)
         while decode_budget > 0:

@@ -28,7 +28,11 @@ class ProgramImage:
     at byte address ``code_base + 4*i``.  ``data`` maps word-aligned
     byte addresses to initial 32-bit values (the engine treats absent
     addresses as zero).  ``labels`` maps every procedure and block label
-    to its byte address.
+    to its byte address.  ``relocs`` records relocation provenance: the
+    data addresses whose initial values are *code* addresses (jump
+    tables, function-pointer tables), mapped to the resolved target —
+    static analysis uses this instead of guessing which data words are
+    code pointers.
     """
 
     instructions: list[Instruction]
@@ -36,6 +40,7 @@ class ProgramImage:
     entry: int = CODE_BASE
     labels: dict[str, int] = field(default_factory=dict)
     data: dict[int, int] = field(default_factory=dict)
+    relocs: dict[int, int] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if self.code_base % INSTRUCTION_BYTES:

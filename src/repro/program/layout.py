@@ -126,6 +126,7 @@ def layout(procedures: Sequence[Procedure], entry: str,
             addr = data.base + 4 * i
             if isinstance(word, Reloc):
                 image.data[addr] = _resolve(labels, word.label) + word.addend
+                image.relocs[addr] = image.data[addr]
             else:
                 image.data[addr] = word
     return image

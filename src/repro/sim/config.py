@@ -42,6 +42,11 @@ class FrontendConfig:
     trace_mispredict_penalty: int = 8
     branch_mispredict_penalty: int = 6
     train_bimodal_on_all_branches: bool = True
+    #: Prime the preconstruction start-point stack with statically
+    #: computed region start points (call returns + loop exits from
+    #: :func:`repro.static.compute_static_seeds`) instead of relying
+    #: solely on dynamic dispatch cues.  Ignored for the baseline.
+    static_seed: bool = False
 
     def __post_init__(self) -> None:
         if self.fetch_width <= 0:

@@ -60,11 +60,17 @@ class FrontendSimulation:
         self.selector = TraceSelector(config.selection)
         self.precon: Optional[PreconstructionEngine] = None
         if config.preconstruction is not None:
+            static_seeds: tuple[int, ...] = ()
+            if config.static_seed:
+                from repro.static.seeding import compute_static_seeds
+                static_seeds = tuple(
+                    s.pc for s in compute_static_seeds(image))
             self.precon = PreconstructionEngine(
                 image=image, icache=self.icache, bimodal=self.bimodal,
                 trace_cache=self.trace_cache,
                 config=config.preconstruction,
-                selection=config.selection)
+                selection=config.selection,
+                static_seeds=static_seeds)
 
     # ------------------------------------------------------------------
     def run(self, stream: Iterable[StreamRecord]) -> FrontendResult:

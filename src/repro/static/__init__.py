@@ -1,0 +1,72 @@
+"""Static binary analysis over linked program images.
+
+Recovers the structure the preconstruction hardware observes
+dynamically — procedures, basic blocks, loops, calls — directly from a
+:class:`~repro.program.image.ProgramImage`, and builds two consumers on
+top of it:
+
+* a **program verifier** (:mod:`repro.static.verifier`): named,
+  severity-tagged lint rules guarding the structural invariants the
+  simulator relies on, used as a post-generation gate and exposed via
+  ``python -m repro analyze``;
+* **static region seeding** (:mod:`repro.static.seeding`): the paper's
+  region start points (call returns + loop exits, §3.1-§3.2) computed
+  ahead of time to prime the preconstruction engine (``--static-seed``).
+"""
+
+from repro.static.callgraph import (
+    CallSite,
+    StaticCallGraph,
+    recover_call_graph,
+)
+from repro.static.dominators import (
+    DominatorTree,
+    NaturalLoop,
+    find_loops,
+    irreducible_components,
+    loop_depth_map,
+)
+from repro.static.recovery import (
+    BlockInfo,
+    ProcedureRange,
+    RecoveredCFG,
+    recover_cfg,
+)
+from repro.static.report import (
+    StaticAnalysisReport,
+    analyze_image,
+    format_report,
+)
+from repro.static.seeding import StaticSeed, compute_static_seeds
+from repro.static.verifier import (
+    DEFAULT_RAS_DEPTH,
+    LintFinding,
+    Severity,
+    VerificationReport,
+    verify_image,
+)
+
+__all__ = [
+    "BlockInfo",
+    "CallSite",
+    "DEFAULT_RAS_DEPTH",
+    "DominatorTree",
+    "LintFinding",
+    "NaturalLoop",
+    "ProcedureRange",
+    "RecoveredCFG",
+    "Severity",
+    "StaticAnalysisReport",
+    "StaticCallGraph",
+    "StaticSeed",
+    "VerificationReport",
+    "analyze_image",
+    "compute_static_seeds",
+    "find_loops",
+    "format_report",
+    "irreducible_components",
+    "loop_depth_map",
+    "recover_call_graph",
+    "recover_cfg",
+    "verify_image",
+]

@@ -1,0 +1,269 @@
+"""Dominator trees, natural loops, and irreducibility detection.
+
+Operates per procedure on the recovered CFG.  Dominators use the
+iterative algorithm of Cooper, Harvey & Kennedy ("A Simple, Fast
+Dominance Algorithm") over a reverse-postorder numbering — quadratic in
+the worst case but effectively linear on the shallow CFGs the workload
+generator emits.
+
+Natural loops are the paper's loop cue made static: a *back edge* is a
+CFG edge whose target dominates its source, its target is the loop
+header, and the loop body is everything that can reach the back-edge
+source without passing through the header.  The preconstruction engine
+keys off taken backward branches at runtime (§3.1); every such branch
+in generated code is the closing edge of a natural loop found here.
+
+A cycle that is *not* a natural loop (a multiple-entry strongly
+connected component) is irreducible — the verifier reports it, since
+the region heuristics assume reducible loop structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.static.recovery import ProcedureRange, RecoveredCFG
+
+
+@dataclass(frozen=True)
+class NaturalLoop:
+    """One natural loop: header block, body blocks, and its back edges.
+
+    ``depth`` is the nesting depth (1 = outermost).  ``back_edges`` are
+    ``(source_block, header_block)`` pairs.
+    """
+
+    header: int
+    body: frozenset[int]
+    back_edges: tuple[tuple[int, int], ...]
+    depth: int
+
+    @property
+    def blocks(self) -> int:
+        return len(self.body)
+
+
+class DominatorTree:
+    """Immediate dominators of one procedure's reachable blocks."""
+
+    def __init__(self, cfg: RecoveredCFG, proc: ProcedureRange) -> None:
+        self.proc = proc
+        self.entry = proc.start
+        reachable = cfg.reachable_blocks(proc)
+        succs: dict[int, tuple[int, ...]] = {}
+        for start in reachable:
+            targets: list[int] = []
+            for addr in cfg.blocks[start].successors:
+                target = cfg.block_at(addr)
+                if (target is not None and target.start in reachable
+                        and target.start not in targets):
+                    targets.append(target.start)
+            succs[start] = tuple(targets)
+        self._succs = succs
+        self._rpo = _reverse_postorder(self.entry, succs)
+        self._index = {b: i for i, b in enumerate(self._rpo)}
+        self.idom: dict[int, int] = _compute_idoms(
+            self.entry, self._rpo, self._index, succs)
+
+    # ------------------------------------------------------------------
+    @property
+    def reverse_postorder(self) -> tuple[int, ...]:
+        return tuple(self._rpo)
+
+    def successors(self, block: int) -> tuple[int, ...]:
+        return self._succs.get(block, ())
+
+    def dominates(self, a: int, b: int) -> bool:
+        """Whether block ``a`` dominates block ``b``."""
+        node: int | None = b
+        while node is not None:
+            if node == a:
+                return True
+            if node == self.entry:
+                return False
+            node = self.idom.get(node)
+        return False
+
+
+def _reverse_postorder(entry: int,
+                       succs: dict[int, tuple[int, ...]]) -> list[int]:
+    """Iterative DFS postorder, reversed."""
+    order: list[int] = []
+    seen: set[int] = set()
+    stack: list[tuple[int, int]] = [(entry, 0)]
+    seen.add(entry)
+    while stack:
+        node, i = stack.pop()
+        children = succs.get(node, ())
+        if i < len(children):
+            stack.append((node, i + 1))
+            child = children[i]
+            if child not in seen:
+                seen.add(child)
+                stack.append((child, 0))
+        else:
+            order.append(node)
+    order.reverse()
+    return order
+
+
+def _compute_idoms(entry: int, rpo: list[int], index: dict[int, int],
+                   succs: dict[int, tuple[int, ...]]) -> dict[int, int]:
+    preds: dict[int, list[int]] = {b: [] for b in rpo}
+    for block in rpo:
+        for succ in succs.get(block, ()):
+            if succ in preds:
+                preds[succ].append(block)
+
+    idom: dict[int, int] = {entry: entry}
+
+    def intersect(a: int, b: int) -> int:
+        while a != b:
+            while index[a] > index[b]:
+                a = idom[a]
+            while index[b] > index[a]:
+                b = idom[b]
+        return a
+
+    changed = True
+    while changed:
+        changed = False
+        for block in rpo:
+            if block == entry:
+                continue
+            new_idom: int | None = None
+            for pred in preds[block]:
+                if pred not in idom:
+                    continue
+                new_idom = (pred if new_idom is None
+                            else intersect(pred, new_idom))
+            if new_idom is not None and idom.get(block) != new_idom:
+                idom[block] = new_idom
+                changed = True
+    idom.pop(entry, None)
+    return idom
+
+
+def find_loops(tree: DominatorTree) -> list[NaturalLoop]:
+    """Natural loops of one procedure, outermost depth first.
+
+    Loops sharing a header are merged (one loop, several back edges),
+    the classic normalisation.
+    """
+    back_edges: dict[int, list[int]] = {}
+    for block in tree.reverse_postorder:
+        for succ in tree.successors(block):
+            if tree.dominates(succ, block):
+                back_edges.setdefault(succ, []).append(block)
+
+    raw: list[tuple[int, frozenset[int], tuple[tuple[int, int], ...]]] = []
+    for header, sources in sorted(back_edges.items()):
+        body = {header}
+        work = [s for s in sources if s != header]
+        preds: dict[int, list[int]] = {}
+        for b in tree.reverse_postorder:
+            for s in tree.successors(b):
+                preds.setdefault(s, []).append(b)
+        while work:
+            node = work.pop()
+            if node in body:
+                continue
+            body.add(node)
+            work.extend(preds.get(node, ()))
+        raw.append((header, frozenset(body),
+                    tuple((s, header) for s in sorted(sources))))
+
+    loops: list[NaturalLoop] = []
+    for header, body, edges in raw:
+        depth = sum(1 for h2, b2, _ in raw
+                    if header in b2 and h2 != header) + 1
+        loops.append(NaturalLoop(header=header, body=body,
+                                 back_edges=edges, depth=depth))
+    loops.sort(key=lambda lo: (lo.depth, lo.header))
+    return loops
+
+
+def loop_depth_map(loops: list[NaturalLoop]) -> dict[int, int]:
+    """Per-block loop nesting depth (0 = not in any loop)."""
+    depth: dict[int, int] = {}
+    for loop in loops:
+        for block in loop.body:
+            depth[block] = max(depth.get(block, 0), loop.depth)
+    return depth
+
+
+def irreducible_components(tree: DominatorTree) -> list[frozenset[int]]:
+    """Multiple-entry cycles (irreducible control flow) in one procedure.
+
+    Finds non-trivial strongly connected components after removing
+    natural-loop back edges; any cycle that remains cannot be a natural
+    loop, which is exactly the irreducible case.
+    """
+    back: set[tuple[int, int]] = set()
+    for block in tree.reverse_postorder:
+        for succ in tree.successors(block):
+            if tree.dominates(succ, block):
+                back.add((block, succ))
+
+    nodes = list(tree.reverse_postorder)
+    succs = {b: tuple(s for s in tree.successors(b)
+                      if (b, s) not in back) for b in nodes}
+    components = _tarjan_sccs(nodes, succs)
+    out = []
+    for comp in components:
+        if len(comp) > 1:
+            out.append(frozenset(comp))
+        elif comp and comp[0] in succs.get(comp[0], ()):
+            out.append(frozenset(comp))  # self-loop surviving removal
+    return out
+
+
+def _tarjan_sccs(nodes: list[int],
+                 succs: dict[int, tuple[int, ...]]) -> list[list[int]]:
+    """Iterative Tarjan strongly-connected components."""
+    index: dict[int, int] = {}
+    low: dict[int, int] = {}
+    on_stack: set[int] = set()
+    stack: list[int] = []
+    sccs: list[list[int]] = []
+    counter = 0
+
+    for root in nodes:
+        if root in index:
+            continue
+        work: list[tuple[int, int]] = [(root, 0)]
+        while work:
+            node, i = work[-1]
+            if i == 0:
+                index[node] = low[node] = counter
+                counter += 1
+                stack.append(node)
+                on_stack.add(node)
+            advanced = False
+            children = succs.get(node, ())
+            while i < len(children):
+                child = children[i]
+                i += 1
+                if child not in index:
+                    work[-1] = (node, i)
+                    work.append((child, 0))
+                    advanced = True
+                    break
+                if child in on_stack:
+                    low[node] = min(low[node], index[child])
+            if advanced:
+                continue
+            work.pop()
+            if low[node] == index[node]:
+                comp = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    comp.append(member)
+                    if member == node:
+                        break
+                sccs.append(comp)
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[node])
+    return sccs

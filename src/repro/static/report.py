@@ -1,0 +1,147 @@
+"""Static-analysis report: one-shot driver producing human/JSON output.
+
+Bundles the recovered CFG, call graph, lint findings and static region
+seeds for one image into a :class:`StaticAnalysisReport`, the payload
+behind ``python -m repro analyze``.  The JSON form is fully
+deterministic for a fixed workload seed (sorted keys, stable orders),
+which the property-test suite relies on.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Mapping, Optional
+
+from repro.program.image import ProgramImage
+from repro.static.callgraph import StaticCallGraph
+from repro.static.dominators import DominatorTree, find_loops
+from repro.static.recovery import RecoveredCFG
+from repro.static.seeding import StaticSeed, compute_static_seeds
+from repro.static.verifier import (
+    DEFAULT_RAS_DEPTH,
+    LintFinding,
+    Severity,
+    verify_image,
+)
+
+
+@dataclass
+class StaticAnalysisReport:
+    """Everything the static subsystem knows about one image."""
+
+    name: str
+    instructions: int
+    procedures: int
+    live_procedures: int
+    dead_procedures: tuple[str, ...]
+    basic_blocks: int
+    natural_loops: int
+    max_loop_depth: int
+    call_sites: int
+    indirect_call_sites: int
+    max_call_depth: Optional[int]
+    findings: list[LintFinding]
+    seeds: list[StaticSeed]
+
+    @property
+    def errors(self) -> list[LintFinding]:
+        return [f for f in self.findings if f.severity is Severity.ERROR]
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "name": self.name,
+            "summary": {
+                "instructions": self.instructions,
+                "procedures": self.procedures,
+                "live_procedures": self.live_procedures,
+                "dead_procedures": list(self.dead_procedures),
+                "basic_blocks": self.basic_blocks,
+                "natural_loops": self.natural_loops,
+                "max_loop_depth": self.max_loop_depth,
+                "call_sites": self.call_sites,
+                "indirect_call_sites": self.indirect_call_sites,
+                "max_call_depth": self.max_call_depth,
+                "static_seeds": len(self.seeds),
+            },
+            "findings": [f.to_dict() for f in self.findings],
+            "seeds": [s.to_dict() for s in self.seeds],
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True, indent=2)
+
+
+def analyze_image(image: ProgramImage,
+                  intents: Optional[Mapping[int, str]] = None,
+                  name: str = "",
+                  ras_depth: int = DEFAULT_RAS_DEPTH,
+                  ) -> StaticAnalysisReport:
+    """Run the full static pipeline over ``image``."""
+    cfg = RecoveredCFG(image)
+    graph = StaticCallGraph(cfg)
+    report = verify_image(image, intents=intents, ras_depth=ras_depth,
+                          cfg=cfg, callgraph=graph)
+    seeds = compute_static_seeds(image, cfg=cfg, callgraph=graph)
+
+    loops = 0
+    max_depth = 0
+    for proc in cfg.procedures:
+        if proc.name not in graph.live or not cfg.reachable_blocks(proc):
+            continue
+        for loop in find_loops(DominatorTree(cfg, proc)):
+            loops += 1
+            max_depth = max(max_depth, loop.depth)
+
+    return StaticAnalysisReport(
+        name=name,
+        instructions=len(image.instructions),
+        procedures=len(cfg.procedures),
+        live_procedures=len(graph.live),
+        dead_procedures=report.dead_procedures,
+        basic_blocks=len(cfg.blocks),
+        natural_loops=loops,
+        max_loop_depth=max_depth,
+        call_sites=len(graph.sites),
+        indirect_call_sites=sum(1 for s in graph.sites if s.indirect),
+        max_call_depth=graph.max_call_depth,
+        findings=report.findings,
+        seeds=seeds,
+    )
+
+
+def format_report(report: StaticAnalysisReport) -> str:
+    """Human-readable report text."""
+    lines = [f"static analysis: {report.name or '<image>'}"]
+    lines.append(
+        f"  {report.instructions} instructions, "
+        f"{report.procedures} procedures "
+        f"({report.live_procedures} live), "
+        f"{report.basic_blocks} basic blocks")
+    depth = ("unbounded (recursive)" if report.max_call_depth is None
+             else str(report.max_call_depth))
+    lines.append(
+        f"  {report.natural_loops} natural loops "
+        f"(max nest {report.max_loop_depth}), "
+        f"{report.call_sites} call sites "
+        f"({report.indirect_call_sites} indirect), "
+        f"call depth {depth}")
+    if report.dead_procedures:
+        lines.append("  unreferenced procedures: "
+                     + ", ".join(report.dead_procedures))
+    n_loop = sum(1 for s in report.seeds if s.kind == "loop_exit")
+    lines.append(
+        f"  {len(report.seeds)} static region seeds "
+        f"({n_loop} loop exits, {len(report.seeds) - n_loop} call returns)")
+    if report.findings:
+        lines.append(f"  {len(report.findings)} findings:")
+        for finding in report.findings:
+            lines.append(f"    {finding}")
+    else:
+        lines.append("  no findings")
+    return "\n".join(lines)

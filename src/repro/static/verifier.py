@@ -1,0 +1,386 @@
+"""Program verifier: named, severity-tagged lint rules over an image.
+
+Machine-checks the structural invariants every other subsystem relies
+on.  The workload generator runs this as a post-generation gate (any
+ERROR aborts generation), and ``python -m repro analyze`` exposes it as
+a lint report.  Each rule maps to a cue the paper's mechanisms depend
+on:
+
+=======  ========  ====================================================
+Rule     Severity  Invariant (paper cue it protects)
+=======  ========  ====================================================
+SD001    ERROR     Control never flows across a procedure boundary
+                   except through a call — a clobbered RET breaks the
+                   call/return pairing the start-point stack and RAS
+                   assume (§3.1).
+SD002    WARNING   Every reachable RET belongs to a procedure some call
+                   can enter (a return with no matching call underflows
+                   the RAS).
+SD003    WARNING   The static call-depth bound exists (no recursion)
+                   and fits the return-address stack.
+JT001    ERROR     Every jump-table / function-pointer relocation lands
+                   on an instruction boundary inside the image — the
+                   constructor walks these targets (§3.4).
+DC001    WARNING   No unreachable code inside live procedures (the
+                   generator must not emit blocks no path enters).
+CF001    WARNING   All cycles are natural loops (irreducible control
+                   flow defeats the backward-branch region cue).
+CF002    ERROR     Direct branch/jump/call targets are instruction-
+                   aligned addresses inside the image.
+BB001    ERROR     The emitted branch pattern matches the generator's
+                   bias intent — biased diamonds carry the strong mask,
+                   weak diamonds the weak mask, loop back edges point
+                   backward (the §3.4 bias heuristic keys off these).
+=======  ========  ====================================================
+
+Procedures that are never referenced at all (no call edge, no
+function-pointer table entry) are linker garbage, not findings; they
+are reported via :attr:`VerificationReport.dead_procedures`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, Mapping, Optional
+
+from repro.isa import INSTRUCTION_BYTES
+from repro.program.image import ProgramImage
+from repro.static.callgraph import StaticCallGraph
+from repro.static.dominators import DominatorTree, irreducible_components
+from repro.static.recovery import RecoveredCFG
+
+#: Default return-address-stack depth checked by SD003 (matches
+#: :class:`repro.branch.ReturnAddressStack`).
+DEFAULT_RAS_DEPTH = 32
+
+#: Branch-intent kinds recorded by the workload generator, with the
+#: ANDI mask each diamond intent must carry.
+STRONG_DIAMOND_MASK = 63
+WEAK_DIAMOND_MASK = 1
+
+
+class Severity(enum.Enum):
+    """Lint severity; ERROR findings abort workload generation."""
+
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+
+@dataclass(frozen=True)
+class LintFinding:
+    """One rule violation at (usually) one instruction address."""
+
+    rule_id: str
+    severity: Severity
+    message: str
+    pc: Optional[int] = None
+    procedure: Optional[str] = None
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "rule_id": self.rule_id,
+            "severity": self.severity.value,
+            "message": self.message,
+            "pc": self.pc,
+            "procedure": self.procedure,
+        }
+
+    def __str__(self) -> str:
+        where = f" at {self.pc:#x}" if self.pc is not None else ""
+        proc = f" [{self.procedure}]" if self.procedure else ""
+        return (f"{self.rule_id} {self.severity.value}{where}{proc}: "
+                f"{self.message}")
+
+
+@dataclass
+class VerifierContext:
+    """Everything a rule may inspect."""
+
+    image: ProgramImage
+    cfg: RecoveredCFG
+    callgraph: StaticCallGraph
+    intents: Mapping[int, str]
+    ras_depth: int
+
+
+RuleFn = Callable[[VerifierContext], Iterator[LintFinding]]
+
+#: Registry of (description, check) per rule ID, in report order.
+RULES: dict[str, tuple[str, RuleFn]] = {}
+
+
+def rule(rule_id: str, description: str) -> Callable[[RuleFn], RuleFn]:
+    def register(fn: RuleFn) -> RuleFn:
+        RULES[rule_id] = (description, fn)
+        return fn
+    return register
+
+
+@dataclass
+class VerificationReport:
+    """Outcome of one verifier run."""
+
+    findings: list[LintFinding] = field(default_factory=list)
+    dead_procedures: tuple[str, ...] = ()
+    rules_run: tuple[str, ...] = ()
+
+    @property
+    def errors(self) -> list[LintFinding]:
+        return [f for f in self.findings if f.severity is Severity.ERROR]
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+    def by_rule(self, rule_id: str) -> list[LintFinding]:
+        return [f for f in self.findings if f.rule_id == rule_id]
+
+
+# ----------------------------------------------------------------------
+# Stack discipline
+# ----------------------------------------------------------------------
+@rule("SD001", "control flow crosses a procedure boundary without a call")
+def _check_boundary_flow(ctx: VerifierContext) -> Iterator[LintFinding]:
+    cfg = ctx.cfg
+    for proc in cfg.procedures:
+        if proc.name not in ctx.callgraph.live:
+            continue
+        for start in sorted(cfg.reachable_blocks(proc)):
+            block = cfg.blocks[start]
+            if block.terminator == "end":
+                yield LintFinding(
+                    "SD001", Severity.ERROR,
+                    "control runs off the end of the image",
+                    pc=block.end - INSTRUCTION_BYTES, procedure=proc.name)
+                continue
+            for succ in block.successors:
+                if succ not in proc:
+                    yield LintFinding(
+                        "SD001", Severity.ERROR,
+                        f"{block.terminator} edge leaves "
+                        f"{proc.name!r} for {succ:#x}",
+                        pc=block.end - INSTRUCTION_BYTES,
+                        procedure=proc.name)
+
+
+@rule("SD002", "callable procedure with no reachable return")
+def _check_return_matching(ctx: VerifierContext) -> Iterator[LintFinding]:
+    cfg = ctx.cfg
+    graph = ctx.callgraph
+    callable_names = graph.call_target_names()
+    entry = graph.entry_procedure
+    # The startup stub and its direct target (the program's true entry)
+    # may run forever by design; any other callable procedure must be
+    # able to return, or the RAS entry its call pushed is never popped.
+    exempt = {entry}
+    if entry is not None:
+        exempt.update(graph.edges.get(entry, ()))
+    for proc in cfg.procedures:
+        if proc.name not in graph.live or proc.name in exempt:
+            continue
+        if proc.name not in callable_names:
+            continue
+        reachable = cfg.reachable_blocks(proc)
+        if not any(cfg.blocks[s].terminator == "return"
+                   for s in reachable):
+            yield LintFinding(
+                "SD002", Severity.WARNING,
+                f"callable procedure {proc.name!r} has no reachable "
+                f"return (its RAS entry is never popped)",
+                pc=proc.start, procedure=proc.name)
+
+
+@rule("SD003", "static call depth unbounded or exceeds the RAS")
+def _check_call_depth(ctx: VerifierContext) -> Iterator[LintFinding]:
+    depth = ctx.callgraph.max_call_depth
+    if depth is None:
+        yield LintFinding(
+            "SD003", Severity.WARNING,
+            "recursive call graph: return-address-stack demand is "
+            "unbounded")
+    elif depth > ctx.ras_depth:
+        yield LintFinding(
+            "SD003", Severity.WARNING,
+            f"static call depth {depth} exceeds the RAS depth "
+            f"{ctx.ras_depth}")
+
+
+# ----------------------------------------------------------------------
+# Jump tables / relocations
+# ----------------------------------------------------------------------
+@rule("JT001", "relocated code pointer not on an instruction boundary")
+def _check_jump_tables(ctx: VerifierContext) -> Iterator[LintFinding]:
+    image = ctx.image
+    for data_addr in sorted(ctx.cfg.reloc_targets):
+        target = ctx.cfg.reloc_targets[data_addr]
+        if target not in image:
+            yield LintFinding(
+                "JT001", Severity.ERROR,
+                f"table entry at data {data_addr:#x} resolves to "
+                f"{target:#x}, not an instruction in the image",
+                pc=target)
+
+
+# ----------------------------------------------------------------------
+# Dead code
+# ----------------------------------------------------------------------
+@rule("DC001", "unreachable code inside a live procedure")
+def _check_dead_code(ctx: VerifierContext) -> Iterator[LintFinding]:
+    cfg = ctx.cfg
+    for proc in cfg.procedures:
+        if proc.name not in ctx.callgraph.live:
+            continue
+        reachable = cfg.reachable_blocks(proc)
+        dead = [b for b in cfg.proc_blocks(proc)
+                if b.start not in reachable]
+        for run_start, run_insts in _dead_runs(dead):
+            yield LintFinding(
+                "DC001", Severity.WARNING,
+                f"{run_insts} unreachable instructions",
+                pc=run_start, procedure=proc.name)
+
+
+def _dead_runs(dead_blocks: list) -> Iterator[tuple[int, int]]:
+    """Coalesce address-adjacent dead blocks into (start, count) runs."""
+    run_start = run_end = None
+    for block in sorted(dead_blocks, key=lambda b: b.start):
+        if run_end == block.start:
+            run_end = block.end
+            continue
+        if run_start is not None:
+            yield run_start, (run_end - run_start) // INSTRUCTION_BYTES
+        run_start, run_end = block.start, block.end
+    if run_start is not None:
+        yield run_start, (run_end - run_start) // INSTRUCTION_BYTES
+
+
+# ----------------------------------------------------------------------
+# Control flow shape
+# ----------------------------------------------------------------------
+@rule("CF001", "irreducible loop (cycle with multiple entry points)")
+def _check_irreducible(ctx: VerifierContext) -> Iterator[LintFinding]:
+    cfg = ctx.cfg
+    for proc in cfg.procedures:
+        if proc.name not in ctx.callgraph.live:
+            continue
+        if not cfg.reachable_blocks(proc):
+            continue
+        tree = DominatorTree(cfg, proc)
+        for component in irreducible_components(tree):
+            yield LintFinding(
+                "CF001", Severity.WARNING,
+                f"irreducible cycle over {len(component)} blocks",
+                pc=min(component), procedure=proc.name)
+
+
+@rule("CF002", "direct control-transfer target outside the image")
+def _check_direct_targets(ctx: VerifierContext) -> Iterator[LintFinding]:
+    image = ctx.image
+    cfg = ctx.cfg
+    for proc in cfg.procedures:
+        if proc.name not in ctx.callgraph.live:
+            continue
+        for start in sorted(cfg.reachable_blocks(proc)):
+            block = cfg.blocks[start]
+            for pc in block.addresses():
+                inst = image.try_fetch(pc)
+                if inst is None or not inst.is_direct_control:
+                    continue
+                target = inst.taken_target(pc)
+                if target is None:
+                    continue
+                if target not in image:
+                    yield LintFinding(
+                        "CF002", Severity.ERROR,
+                        f"{inst.op.value} targets {target:#x}, outside "
+                        f"the code segment", pc=pc, procedure=proc.name)
+
+
+# ----------------------------------------------------------------------
+# Branch-bias consistency (generator intent vs emitted code)
+# ----------------------------------------------------------------------
+_INTENT_KINDS = ("diamond_strong", "diamond_weak", "loop_back", "guard")
+
+
+@rule("BB001", "emitted branch contradicts the generator's bias intent")
+def _check_bias_consistency(ctx: VerifierContext) -> Iterator[LintFinding]:
+    image = ctx.image
+    for pc in sorted(ctx.intents):
+        intent = ctx.intents[pc]
+        inst = image.try_fetch(pc)
+        proc = ctx.cfg.procedure_of(pc)
+        proc_name = proc.name if proc else None
+        if inst is None or not inst.is_conditional_branch:
+            yield LintFinding(
+                "BB001", Severity.ERROR,
+                f"intent {intent!r} recorded at {pc:#x}, but no "
+                f"conditional branch is there", pc=pc, procedure=proc_name)
+            continue
+        if intent == "loop_back":
+            if inst.imm >= 0:
+                yield LintFinding(
+                    "BB001", Severity.ERROR,
+                    "loop back edge emitted as a forward branch",
+                    pc=pc, procedure=proc_name)
+            continue
+        if intent in ("diamond_strong", "diamond_weak"):
+            want = (STRONG_DIAMOND_MASK if intent == "diamond_strong"
+                    else WEAK_DIAMOND_MASK)
+            mask = _preceding_andi_mask(image, pc)
+            if mask != want:
+                yield LintFinding(
+                    "BB001", Severity.ERROR,
+                    f"{intent} diamond carries test mask {mask!r}, "
+                    f"expected {want}", pc=pc, procedure=proc_name)
+            if inst.imm < 0:
+                yield LintFinding(
+                    "BB001", Severity.ERROR,
+                    "diamond branch emitted as a backward branch",
+                    pc=pc, procedure=proc_name)
+            continue
+        if intent == "guard":
+            if inst.imm < 0:
+                yield LintFinding(
+                    "BB001", Severity.ERROR,
+                    "phase-guard branch emitted as a backward branch",
+                    pc=pc, procedure=proc_name)
+            continue
+        yield LintFinding(
+            "BB001", Severity.ERROR,
+            f"unknown branch intent {intent!r}", pc=pc,
+            procedure=proc_name)
+
+
+def _preceding_andi_mask(image: ProgramImage, pc: int) -> Optional[int]:
+    """Immediate of the ANDI feeding a masked-test branch, if any."""
+    prev = image.try_fetch(pc - INSTRUCTION_BYTES)
+    if prev is not None and prev.op.value == "andi":
+        return prev.imm
+    return None
+
+
+# ----------------------------------------------------------------------
+# Driver
+# ----------------------------------------------------------------------
+def verify_image(image: ProgramImage,
+                 intents: Optional[Mapping[int, str]] = None,
+                 ras_depth: int = DEFAULT_RAS_DEPTH,
+                 cfg: Optional[RecoveredCFG] = None,
+                 callgraph: Optional[StaticCallGraph] = None,
+                 ) -> VerificationReport:
+    """Run every lint rule over ``image``; deterministic output order."""
+    cfg = cfg or RecoveredCFG(image)
+    graph = callgraph or StaticCallGraph(cfg)
+    ctx = VerifierContext(image=image, cfg=cfg, callgraph=graph,
+                          intents=dict(intents or {}),
+                          ras_depth=ras_depth)
+    findings: list[LintFinding] = []
+    for rule_id, (_description, check) in RULES.items():
+        findings.extend(check(ctx))
+    findings.sort(key=lambda f: (f.severity.value, f.rule_id,
+                                 f.pc if f.pc is not None else -1))
+    return VerificationReport(findings=findings,
+                              dead_procedures=graph.dead_procedures,
+                              rules_run=tuple(RULES))

@@ -25,7 +25,7 @@ r29   stack pointer; r31 link register
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.isa import Instruction, Opcode, RA, SP
 from repro.program import (
@@ -58,34 +58,79 @@ _STRONG_MASK = 63   # biased diamond: taken ~63/64 of the time
 _WEAK_MASK = 1      # weak diamond: ~50/50
 
 
+class WorkloadVerificationError(RuntimeError):
+    """A generated workload failed the post-generation verifier gate."""
+
+    def __init__(self, name: str, findings) -> None:
+        self.findings = list(findings)
+        details = "\n".join(f"  {f}" for f in self.findings)
+        super().__init__(
+            f"generated workload {name!r} failed verification "
+            f"({len(self.findings)} errors):\n{details}")
+
+
 @dataclass
 class GeneratedWorkload:
-    """A linked synthetic benchmark plus its provenance."""
+    """A linked synthetic benchmark plus its provenance.
+
+    ``branch_intents`` maps the byte address of each intentful
+    conditional branch to the generator's intent kind
+    (``diamond_strong`` / ``diamond_weak`` / ``loop_back`` / ``guard``)
+    so the verifier can cross-check emitted code against what the
+    generator meant to emit.
+    """
 
     profile: WorkloadProfile
     image: ProgramImage
     procedures: list[Procedure]
+    branch_intents: dict[int, str] = field(default_factory=dict)
 
 
-def generate(profile: WorkloadProfile) -> GeneratedWorkload:
-    """Generate, link, and return the workload described by ``profile``."""
+def generate(profile: WorkloadProfile,
+             verify: bool = True) -> GeneratedWorkload:
+    """Generate, link, and return the workload described by ``profile``.
+
+    With ``verify`` (the default), the linked image is run through the
+    static verifier and any ERROR-severity finding aborts generation
+    with :class:`WorkloadVerificationError` — a generator bug must
+    never silently become a simulation result.
+    """
     rng = random.Random(profile.seed)
     data = DataSegment()
     fill_random_array(data, profile.data_words, profile.seed)
 
     names = [f"p{i}" for i in range(profile.procedures)]
     procedures = []
+    intent_labels: list[tuple[str, str]] = []
     for i, name in enumerate(names):
         callees = names[i + 1:i + 1 + 8]
         emitter = _ProcedureEmitter(name, profile, rng, data, callees)
         procedures.append(emitter.build())
+        intent_labels.extend(emitter.branch_intents)
 
     top_level = names[:min(profile.fanout, len(names))]
     procedures.insert(0, _build_main(top_level, profile))
 
     image = layout(procedures, entry="main", data=data)
+
+    # The intentful branch is its block's terminator: it lands right
+    # after the block body (one instruction per body item — a Call
+    # lowers to a single JAL).
+    body_len = {block.label: len(block.body)
+                for proc in procedures for block in proc.cfg.blocks}
+    branch_intents = {
+        image.labels[label] + 4 * body_len[label]: kind
+        for label, kind in intent_labels}
+
+    if verify:
+        from repro.static.verifier import verify_image
+        report = verify_image(image, intents=branch_intents)
+        if report.errors:
+            raise WorkloadVerificationError(profile.name, report.errors)
+
     return GeneratedWorkload(profile=profile, image=image,
-                             procedures=procedures)
+                             procedures=procedures,
+                             branch_intents=branch_intents)
 
 
 def _build_main(top_level: list[str], profile: WorkloadProfile) -> Procedure:
@@ -129,6 +174,9 @@ class _ProcedureEmitter:
         self._makes_calls = False
         self._uses_stores = False
         self._cursor_mask = cursor_mask(profile.data_words)
+        #: (block label, intent kind) for every intentful branch; the
+        #: branch is that block's terminator.
+        self.branch_intents: list[tuple[str, str]] = []
 
     # ------------------------------------------------------------------
     # Label / block plumbing
@@ -229,6 +277,8 @@ class _ProcedureEmitter:
         self._body.append(Instruction(Opcode.ANDI, rd=_T0, rs1=_T0,
                                       imm=mask))
         # bne: taken whenever any masked bit is set (prob 1 - 2^-bits).
+        self.branch_intents.append(
+            (self._label, "diamond_strong" if strong else "diamond_weak"))
         self._close(Terminator(
             TermKind.BRANCH, targets=(then_label, else_label),
             branch_op=Opcode.BNE, rs1=_T0, rs2=0))
@@ -269,6 +319,7 @@ class _ProcedureEmitter:
             self._emit_filler()
         self._body.append(Instruction(Opcode.ADDI, rd=counter, rs1=counter,
                                       imm=1))
+        self.branch_intents.append((self._label, "loop_back"))
         self._close(Terminator(
             TermKind.BRANCH, targets=(head_label, exit_label),
             branch_op=Opcode.BLT, rs1=counter, rs2=limit))
@@ -362,6 +413,7 @@ class _ProcedureEmitter:
             Instruction(Opcode.XORI, rd=_T0, rs1=_T0, imm=site_phase),
         ])
         # Taken (phase mismatch) jumps over the call.
+        self.branch_intents.append((self._label, "guard"))
         self._close(Terminator(
             TermKind.BRANCH, targets=(join_label, call_label),
             branch_op=Opcode.BNE, rs1=_T0, rs2=0))

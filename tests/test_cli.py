@@ -34,3 +34,24 @@ class TestCLI:
         assert main(["--instructions", "6000", "dynamic",
                      "--benchmarks", "compress"]) == 0
         assert "trajectory" in capsys.readouterr().out
+
+    def test_analyze_human_report(self, capsys):
+        assert main(["analyze", "compress"]) == 0
+        out = capsys.readouterr().out
+        assert "static analysis: compress" in out
+        assert "static region seeds" in out
+        assert "no findings" in out
+
+    def test_analyze_json(self, capsys):
+        import json
+
+        assert main(["analyze", "compress", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["name"] == "compress"
+        assert payload["findings"] == []
+        assert payload["summary"]["static_seeds"] == len(payload["seeds"])
+
+    def test_point_static_seed(self, capsys):
+        assert main(["--instructions", "4000", "point", "compress",
+                     "--tc", "64", "--pb", "32", "--static-seed"]) == 0
+        assert "buffer_hits" in capsys.readouterr().out

@@ -136,3 +136,39 @@ class TestEngineLifecycle:
     def test_stack_order_config_validated(self):
         with pytest.raises(ValueError):
             PreconstructionConfig(stack_order="sideways")
+
+
+class TestStaticSeeding:
+    def test_seeds_prime_the_stack(self, setup):
+        image, labels, traces, _engine, trace_cache, bimodal = setup
+        seeds = [labels["after_call"], labels["f_join"]]
+        engine = PreconstructionEngine(
+            image=image, icache=InstructionCache(),
+            bimodal=BimodalPredictor(), trace_cache=TraceCache(),
+            config=PreconstructionConfig(buffer_entries=128),
+            static_seeds=seeds)
+        # Best seed (first in the list) sits on top of the stack.
+        assert engine.stack.peek_newest() == seeds[0]
+        assert engine.stats.static_seeds_offered == len(seeds)
+
+    def test_seed_queue_refills_when_stack_drains(self, setup):
+        image, labels, *_ = setup
+        depth = 4
+        seeds = [image.code_base + 4 * i for i in range(depth * 2)]
+        engine = PreconstructionEngine(
+            image=image, icache=InstructionCache(),
+            bimodal=BimodalPredictor(), trace_cache=TraceCache(),
+            config=PreconstructionConfig(buffer_entries=128,
+                                         start_stack_depth=depth),
+            static_seeds=seeds)
+        assert engine.stats.static_seeds_offered == depth
+        # Drain the stack; the next tick must feed the second batch.
+        while engine.stack.pop_newest() is not None:
+            pass
+        engine.tick(1)
+        assert engine.stats.static_seeds_offered == depth * 2
+
+    def test_no_seeds_is_the_default(self, setup):
+        _image, _labels, _traces, engine, *_ = setup
+        assert engine.stats.static_seeds_offered == 0
+        assert len(engine.stack) == 0

@@ -1,0 +1,234 @@
+"""Mutation self-tests: corrupt a generated image, assert the verifier
+catches each corruption with the right rule ID."""
+
+import pytest
+
+from repro.isa import INSTRUCTION_BYTES, Opcode, assemble, nop
+from repro.program import ProgramImage
+from repro.static import RecoveredCFG, Severity, StaticCallGraph, verify_image
+from repro.workloads.generator import (
+    WorkloadVerificationError,
+    generate,
+)
+from repro.workloads.spec95 import SPEC95_PROFILES
+
+
+@pytest.fixture
+def workload():
+    """A small, verifier-clean generated workload (fresh per test so
+    mutations cannot leak between tests)."""
+    return generate(SPEC95_PROFILES["compress"])
+
+
+def _rule_ids(report):
+    return {f.rule_id for f in report.findings}
+
+
+def _inst_index(image: ProgramImage, pc: int) -> int:
+    return (pc - image.code_base) // INSTRUCTION_BYTES
+
+
+def _reachable_return_pc(image: ProgramImage, proc_name: str) -> int:
+    """PC of a reachable return in ``proc_name``."""
+    cfg = RecoveredCFG(image)
+    proc = cfg.procedure(proc_name)
+    for start in sorted(cfg.reachable_blocks(proc)):
+        block = cfg.blocks[start]
+        if block.terminator == "return":
+            return block.end - INSTRUCTION_BYTES
+    raise AssertionError(f"no reachable return in {proc_name}")
+
+
+class TestCleanBaseline:
+    def test_generated_workload_is_clean(self, workload):
+        report = verify_image(workload.image,
+                              intents=workload.branch_intents)
+        assert report.findings == []
+        assert report.ok
+
+    def test_rules_all_ran(self, workload):
+        report = verify_image(workload.image)
+        assert set(report.rules_run) == {
+            "SD001", "SD002", "SD003", "JT001", "DC001", "CF001",
+            "CF002", "BB001"}
+
+
+class TestMutations:
+    def test_clobbered_return_flags_sd001(self, workload):
+        """RET -> NOP: control runs across the procedure boundary."""
+        image = workload.image
+        # p0 is live (called from main) and not the last procedure.
+        ret_pc = _reachable_return_pc(image, "p0")
+        image.instructions[_inst_index(image, ret_pc)] = nop()
+        report = verify_image(image)
+        assert "SD001" in _rule_ids(report)
+        finding = report.by_rule("SD001")[0]
+        assert finding.severity is Severity.ERROR
+        assert finding.procedure == "p0"
+
+    def test_never_returning_callee_flags_sd002(self, workload):
+        """RET -> J <own entry>: callable procedure can never return."""
+        image = workload.image
+        cfg = RecoveredCFG(image)
+        ret_pc = _reachable_return_pc(image, "p0")
+        entry = cfg.procedure("p0").start
+        image.instructions[_inst_index(image, ret_pc)] = (
+            image.instructions[_inst_index(image, ret_pc)].with_fields(
+                op=Opcode.J, rs1=0, imm=entry))
+        report = verify_image(image)
+        assert "SD002" in _rule_ids(report)
+        assert report.by_rule("SD002")[0].procedure == "p0"
+
+    def test_recursion_flags_sd003(self):
+        source = """
+        main:
+            jal a
+            halt
+        a:
+            jal a
+            jr ra
+        """
+        insts, labels = assemble(source, base=0x1000)
+        image = ProgramImage(instructions=insts, code_base=0x1000,
+                             entry=0x1000, labels=labels)
+        report = verify_image(image)
+        assert "SD003" in _rule_ids(report)
+        assert "unbounded" in report.by_rule("SD003")[0].message
+
+    def test_excess_call_depth_flags_sd003(self, workload):
+        graph = StaticCallGraph(RecoveredCFG(workload.image))
+        assert graph.max_call_depth is not None
+        report = verify_image(workload.image,
+                              ras_depth=graph.max_call_depth - 1)
+        assert "SD003" in _rule_ids(report)
+        assert "exceeds" in report.by_rule("SD003")[0].message
+
+    def test_misaligned_table_entry_flags_jt001(self):
+        """Knock a jump-table relocation off the instruction grid."""
+        wl = generate(SPEC95_PROFILES["perl"])  # perl has fptr tables
+        image = wl.image
+        assert image.relocs
+        addr = next(iter(image.relocs))
+        image.relocs[addr] += 2
+        image.data[addr] += 2
+        report = verify_image(image)
+        assert "JT001" in _rule_ids(report)
+        assert report.by_rule("JT001")[0].severity is Severity.ERROR
+
+    def test_orphan_block_flags_dc001(self, workload):
+        """Unreachable code appended inside the last live procedure."""
+        image = workload.image
+        image.instructions.extend([nop(), nop()])
+        report = verify_image(image)
+        assert "DC001" in _rule_ids(report)
+        finding = report.by_rule("DC001")[0]
+        assert "2 unreachable instructions" in finding.message
+
+    def test_irreducible_cycle_flags_cf001(self):
+        source = """
+        f:
+            bne r1, r0, b
+        a:
+            addi r2, r2, 1
+            j b
+        b:
+            addi r2, r2, 2
+            beq r2, r3, done
+            j a
+        done:
+            jr ra
+        """
+        insts, labels = assemble(source, base=0x1000)
+        image = ProgramImage(instructions=insts, code_base=0x1000,
+                             entry=0x1000, labels={"f": labels["f"]})
+        report = verify_image(image)
+        assert "CF001" in _rule_ids(report)
+
+    def test_wild_jump_target_flags_cf002(self, workload):
+        """Retarget a reachable direct jump outside the image."""
+        image = workload.image
+        cfg = RecoveredCFG(image)
+        graph = StaticCallGraph(cfg)
+        jump_pc = None
+        for proc in cfg.procedures:
+            if proc.name not in graph.live:
+                continue
+            for start in sorted(cfg.reachable_blocks(proc)):
+                block = cfg.blocks[start]
+                if block.terminator == "jump":
+                    jump_pc = block.end - INSTRUCTION_BYTES
+                    break
+            if jump_pc is not None:
+                break
+        assert jump_pc is not None
+        idx = _inst_index(image, jump_pc)
+        image.instructions[idx] = image.instructions[idx].with_fields(
+            imm=image.code_end + 64)
+        report = verify_image(image)
+        assert "CF002" in _rule_ids(report)
+        assert report.by_rule("CF002")[0].severity is Severity.ERROR
+
+    def test_flipped_bias_mask_flags_bb001(self):
+        """Weaken a strong diamond's test mask behind the generator's
+        back; the intent cross-check must notice."""
+        wl = generate(SPEC95_PROFILES["compress"])
+        image = wl.image
+        strong_pc = next(pc for pc, kind in wl.branch_intents.items()
+                         if kind == "diamond_strong")
+        andi_idx = _inst_index(image, strong_pc - INSTRUCTION_BYTES)
+        andi = image.instructions[andi_idx]
+        assert andi.op is Opcode.ANDI and andi.imm == 63
+        image.instructions[andi_idx] = andi.with_fields(imm=1)
+        report = verify_image(image, intents=wl.branch_intents)
+        assert "BB001" in _rule_ids(report)
+        finding = report.by_rule("BB001")[0]
+        assert finding.severity is Severity.ERROR
+        assert finding.pc == strong_pc
+
+    def test_intent_without_branch_flags_bb001(self, workload):
+        image = workload.image
+        # Claim an intent at a non-branch instruction (the entry stub).
+        report = verify_image(image,
+                              intents={image.code_base: "loop_back"})
+        assert "BB001" in _rule_ids(report)
+
+
+class TestGeneratorGate:
+    def test_generate_verifies_by_default(self):
+        wl = generate(SPEC95_PROFILES["compress"])
+        assert wl.branch_intents  # intents recorded and checked
+
+    def test_gate_raises_on_broken_image(self, monkeypatch):
+        """Force the verifier to see an ERROR during generation."""
+        import repro.workloads.generator as gen_mod
+
+        profile = SPEC95_PROFILES["compress"]
+
+        original_layout = gen_mod.layout
+
+        def broken_layout(*args, **kwargs):
+            image = original_layout(*args, **kwargs)
+            # Clobber a return so the gate has something to catch.
+            pc = _reachable_return_pc(image, "p0")
+            image.instructions[_inst_index(image, pc)] = nop()
+            return image
+
+        monkeypatch.setattr(gen_mod, "layout", broken_layout)
+        with pytest.raises(WorkloadVerificationError) as err:
+            generate(profile)
+        assert any(f.rule_id == "SD001" for f in err.value.findings)
+
+    def test_gate_can_be_disabled(self, monkeypatch):
+        import repro.workloads.generator as gen_mod
+
+        original_layout = gen_mod.layout
+
+        def broken_layout(*args, **kwargs):
+            image = original_layout(*args, **kwargs)
+            pc = _reachable_return_pc(image, "p0")
+            image.instructions[_inst_index(image, pc)] = nop()
+            return image
+
+        monkeypatch.setattr(gen_mod, "layout", broken_layout)
+        wl = generate(SPEC95_PROFILES["compress"], verify=False)
+        assert wl.image is not None
