@@ -15,8 +15,7 @@ the static split in place.  The result is reported for the record.
 from __future__ import annotations
 
 from conftest import run_once
-from repro.analysis import StreamCache, frontend_config
-from repro.sim import run_dynamic_frontend, run_frontend
+from repro.api import build_frontend_config, run_dynamic_frontend, run_frontend
 
 TOTAL = 512
 STATIC_PBS = (32, 128, 256)
@@ -30,11 +29,12 @@ def test_dynamic_vs_static_partitions(benchmark, stream_cache):
             stream = stream_cache.stream(name)
             statics = {}
             for pb in STATIC_PBS:
-                result = run_frontend(image, frontend_config(TOTAL - pb, pb),
-                                      len(stream), stream=stream)
+                config = build_frontend_config(TOTAL - pb, pb)
+                result = run_frontend(image, config, len(stream),
+                                      stream=stream)
                 statics[pb] = result.stats.trace_miss_rate_per_ki
             dynamic, events = run_dynamic_frontend(
-                image, frontend_config(TOTAL - 128, 128), stream)
+                image, build_frontend_config(TOTAL - 128, 128), stream)
             rows[name] = (statics, dynamic.stats.trace_miss_rate_per_ki,
                           [event.pb_entries for event in events])
         return rows

@@ -12,15 +12,14 @@ dynamic stack.
 from __future__ import annotations
 
 from conftest import run_once
-from repro.analysis.sweeps import frontend_config
 from repro.analysis.tables import PRECON, TABLE_BENCHMARKS
-from repro.sim import run_frontend
+from repro.api import build_frontend_config, run_frontend
 
 
 def _point(cache, benchmark_name, static_seed):
     tc_entries, pb_entries = PRECON
-    config = frontend_config(tc_entries, pb_entries,
-                             static_seed=static_seed)
+    config = build_frontend_config(tc_entries, pb_entries,
+                                   static_seed=static_seed)
     return run_frontend(cache.image(benchmark_name), config,
                         cache.instructions,
                         stream=cache.stream(benchmark_name))

@@ -12,11 +12,12 @@ import os
 
 import pytest
 
-from repro.analysis import StreamCache
+from repro.api import DEFAULT_INSTRUCTIONS, StreamCache
 
 
 def bench_instructions() -> int:
-    return int(os.environ.get("REPRO_BENCH_INSTRUCTIONS", "60000"))
+    return int(os.environ.get("REPRO_BENCH_INSTRUCTIONS",
+                              str(DEFAULT_INSTRUCTIONS)))
 
 
 @pytest.fixture(scope="session")
@@ -40,8 +41,7 @@ def custom_frontend_point(cache, benchmark_name, *, tc_entries=256,
                           pb_entries=256, selection=None,
                           precon_overrides=None):
     """Frontend run with ablation overrides on the standard config."""
-    from repro.core import PreconstructionConfig
-    from repro.sim import FrontendConfig, run_frontend
+    from repro.api import FrontendConfig, PreconstructionConfig, run_frontend
     from repro.trace import SelectionConfig, TraceCacheConfig
 
     precon = None

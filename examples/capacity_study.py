@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import sys
 
-from repro.analysis import StreamCache, run_frontend_point
+from repro.api import ExperimentSpec, sweep
 
 #: (total entries) -> candidate (tc, pb) splits.
 SPLITS = {
@@ -28,16 +28,22 @@ SPLITS = {
 def main() -> None:
     benchmark = sys.argv[1] if len(sys.argv) > 1 else "go"
     instructions = int(sys.argv[2]) if len(sys.argv) > 2 else 60_000
-    cache = StreamCache(instructions=instructions)
     print(f"benchmark={benchmark}, {instructions} instructions")
+
+    specs = [ExperimentSpec(benchmark=benchmark, tc_entries=tc,
+                            pb_entries=pb, instructions=instructions)
+             for splits in SPLITS.values() for tc, pb in splits]
+    lookup = {r.spec: r for r in sweep(specs)}
+
     print(f"\n{'total':>6s} {'TC':>6s} {'PB':>6s} {'miss/KI':>9s} "
           f"{'vs TC-only':>11s}")
     for total, splits in SPLITS.items():
         baseline = None
         best = None
         for tc, pb in splits:
-            stats = run_frontend_point(cache, benchmark, tc, pb)
-            miss = stats.trace_miss_rate_per_ki
+            spec = ExperimentSpec(benchmark=benchmark, tc_entries=tc,
+                                  pb_entries=pb, instructions=instructions)
+            miss = lookup[spec].metrics["trace_misses_per_ki"]
             if pb == 0:
                 baseline = miss
             delta = (100 * (miss - baseline) / baseline

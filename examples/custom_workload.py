@@ -11,13 +11,17 @@ Run:  python examples/custom_workload.py
 
 from __future__ import annotations
 
-from repro.branch import BimodalPredictor
-from repro.caches import InstructionCache
-from repro.core import PreconstructionConfig, PreconstructionEngine
-from repro.engine import FunctionalEngine
-from repro.isa import assemble
-from repro.program import ProgramImage
-from repro.trace import TraceCache, traces_of_stream
+from repro.api import (
+    BimodalPredictor,
+    FunctionalEngine,
+    InstructionCache,
+    PreconstructionConfig,
+    PreconstructionEngine,
+    ProgramImage,
+    TraceCache,
+    assemble,
+    traces_of_stream,
+)
 
 # The paper's Figure 2 example: a call to a procedure with a loop and a
 # diamond, followed by a loop and tail code in the caller.

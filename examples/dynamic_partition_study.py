@@ -14,8 +14,13 @@ from __future__ import annotations
 
 import sys
 
-from repro.analysis import StreamCache, frontend_config
-from repro.sim import DynamicPartitionConfig, run_dynamic_frontend, run_frontend
+from repro.api import (
+    DynamicPartitionConfig,
+    StreamCache,
+    build_frontend_config,
+    run_dynamic_frontend,
+    run_frontend,
+)
 
 TOTAL = 512
 
@@ -29,12 +34,12 @@ def main() -> None:
         print(f"\n=== {benchmark} ({instructions} instructions, "
               f"{TOTAL}-entry budget) ===")
         for pb in (32, 128, 256):
-            result = run_frontend(image, frontend_config(TOTAL - pb, pb),
-                                  len(stream), stream=stream)
+            config = build_frontend_config(TOTAL - pb, pb)
+            result = run_frontend(image, config, len(stream), stream=stream)
             print(f"static  TC={TOTAL - pb:3d} PB={pb:3d}: "
                   f"{result.stats.trace_miss_rate_per_ki:6.2f} miss/KI")
         result, events = run_dynamic_frontend(
-            image, frontend_config(TOTAL - 128, 128), stream,
+            image, build_frontend_config(TOTAL - 128, 128), stream,
             DynamicPartitionConfig(total_entries=TOTAL))
         print(f"dynamic (start PB=128):  "
               f"{result.stats.trace_miss_rate_per_ki:6.2f} miss/KI")

@@ -14,13 +14,12 @@ from __future__ import annotations
 
 import sys
 
-from repro.analysis import StreamCache, run_processor_point
+from repro.api import ExperimentSpec, sweep
 
 
 def main() -> None:
     benchmark = sys.argv[1] if len(sys.argv) > 1 else "vortex"
     instructions = int(sys.argv[2]) if len(sys.argv) > 2 else 60_000
-    cache = StreamCache(instructions=instructions)
     print(f"benchmark={benchmark}, {instructions} instructions")
 
     configs = [
@@ -32,16 +31,21 @@ def main() -> None:
         ("both (TC 128 + PB 128)",
          dict(tc_entries=128, pb_entries=128, preprocess=True)),
     ]
+    specs = [ExperimentSpec(benchmark=benchmark, kind="processor",
+                            instructions=instructions, **kwargs)
+             for _, kwargs in configs]
+    results = sweep(specs)
+
     base_cycles = None
     print(f"\n{'configuration':36s} {'IPC':>7s} {'cycles':>9s} "
           f"{'miss/KI':>8s} {'speedup':>8s}")
-    for label, kwargs in configs:
-        stats = run_processor_point(cache, benchmark, **kwargs)
+    for (label, _), result in zip(configs, results):
+        metrics = result.metrics
         if base_cycles is None:
-            base_cycles = stats.cycles
-        speedup = 100 * (base_cycles / stats.cycles - 1)
-        print(f"{label:36s} {stats.ipc:7.3f} {stats.cycles:9d} "
-              f"{stats.trace_miss_rate_per_ki:8.2f} {speedup:+7.1f}%")
+            base_cycles = metrics["cycles"]
+        speedup = 100 * (base_cycles / metrics["cycles"] - 1)
+        print(f"{label:36s} {metrics['ipc']:7.3f} {metrics['cycles']:9d} "
+              f"{metrics['trace_misses_per_ki']:8.2f} {speedup:+7.1f}%")
 
     print("\nThe mechanisms are complementary: preconstruction raises the")
     print("peak instruction supply rate, preprocessing raises the rate at")

@@ -13,8 +13,7 @@ from __future__ import annotations
 
 import sys
 
-from repro.analysis import StreamCache, run_frontend_point
-from repro.workloads import SPEC95_NAMES
+from repro.api import SPEC95_NAMES, ExperimentSpec, sweep
 
 
 def main() -> None:
@@ -25,31 +24,28 @@ def main() -> None:
                          f"choose from {', '.join(SPEC95_NAMES)}")
 
     print(f"benchmark={benchmark}, {instructions} instructions")
-    cache = StreamCache(instructions=instructions)
 
-    print("\nrunning: 512-entry trace cache, no preconstruction ...")
-    base = run_frontend_point(cache, benchmark, tc_entries=512)
+    print("\nrunning: 512-entry trace cache, no preconstruction")
     print("running: 256-entry trace cache + 256-entry preconstruction "
           "buffer (equal area) ...")
-    precon = run_frontend_point(cache, benchmark, tc_entries=256,
-                                pb_entries=256)
+    base_spec = ExperimentSpec(benchmark=benchmark, tc_entries=512,
+                               instructions=instructions)
+    precon_spec = base_spec.replace(tc_entries=256, pb_entries=256)
+    base, precon = (r.metrics for r in sweep([base_spec, precon_spec]))
 
     rows = [
-        ("trace misses / 1000 instr", base.trace_miss_rate_per_ki,
-         precon.trace_miss_rate_per_ki),
-        ("I-cache instr / 1000 instr", base.icache_instructions_per_ki,
-         precon.icache_instructions_per_ki),
-        ("I-cache misses / 1000 instr", base.icache_misses_per_ki,
-         precon.icache_misses_per_ki),
-        ("miss-supplied instr / 1000", base.icache_miss_instructions_per_ki,
-         precon.icache_miss_instructions_per_ki),
+        ("trace misses / 1000 instr", "trace_misses_per_ki"),
+        ("I-cache instr / 1000 instr", "icache_instructions_per_ki"),
+        ("I-cache misses / 1000 instr", "icache_misses_per_ki"),
+        ("miss-supplied instr / 1000", "icache_miss_instructions_per_ki"),
     ]
     print(f"\n{'metric':30s} {'TC-512':>10s} {'256+256':>10s} {'change':>9s}")
-    for name, a, b in rows:
+    for name, key in rows:
+        a, b = base[key], precon[key]
         change = 100 * (b - a) / a if a else 0.0
         print(f"{name:30s} {a:10.2f} {b:10.2f} {change:+8.1f}%")
-    print(f"\npreconstruction-buffer hits: {precon.buffer_hits}")
-    print(f"next-trace predictor accuracy: {precon.ntp_accuracy:.1%}")
+    print(f"\npreconstruction-buffer hits: {precon['buffer_hits']}")
+    print(f"next-trace predictor accuracy: {precon['ntp_accuracy']:.1%}")
 
 
 if __name__ == "__main__":

@@ -17,16 +17,20 @@ A from-scratch trace-processor simulation stack:
 * :mod:`repro.static` — static binary analysis over linked images:
   CFG recovery, dominators/natural loops, call graph, the program
   verifier behind ``python -m repro analyze``, and static region
-  seeding for ``--static-seed`` runs.
+  seeding for ``--static-seed`` runs;
+* :mod:`repro.runner` — experiment descriptions (`ExperimentSpec`),
+  a content-addressed result cache, and a benchmark-grouped process
+  pool behind ``python -m repro all --jobs N``;
+* :mod:`repro.api` — the stable import facade for all of the above.
 
 Quickstart::
 
-    from repro.analysis import StreamCache, run_frontend_point
+    from repro.api import ExperimentSpec, run_point
 
-    cache = StreamCache(instructions=50_000)
-    base = run_frontend_point(cache, "gcc", tc_entries=256)
-    pre = run_frontend_point(cache, "gcc", tc_entries=256, pb_entries=256)
-    print(base.trace_miss_rate_per_ki, "->", pre.trace_miss_rate_per_ki)
+    base = ExperimentSpec(benchmark="gcc", tc_entries=256)
+    pre = base.replace(pb_entries=256)
+    print(run_point(base).metrics["trace_misses_per_ki"], "->",
+          run_point(pre).metrics["trace_misses_per_ki"])
 """
 
 from repro.static import (
@@ -43,7 +47,7 @@ from repro.static import (
     verify_image,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "__version__",

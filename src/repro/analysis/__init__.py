@@ -1,4 +1,11 @@
-"""Experiment analysis: sweeps, table/figure reproductions, charts."""
+"""Experiment analysis: sweeps, table/figure reproductions, charts.
+
+Execution is delegated to :mod:`repro.runner` — every driver describes
+its grid as :class:`~repro.runner.ExperimentSpec` batches, so exhibit
+regeneration parallelises (``jobs``) and caches (``result_cache``)
+uniformly.  The ``*_specs`` / ``*_from_results`` pairs let callers
+(notably ``repro all``) batch several exhibits through one scheduler.
+"""
 
 from repro.analysis.charts import bar_chart, series_table
 from repro.analysis.figures import (
@@ -6,22 +13,14 @@ from repro.analysis.figures import (
     SpeedupResult,
     figure5_series,
     figure6,
+    figure6_from_results,
+    figure6_specs,
     figure8,
+    figure8_from_results,
+    figure8_specs,
     format_figure5,
     format_figure6,
     format_figure8,
-)
-from repro.analysis.sweeps import (
-    FIGURE5_PB_SIZES,
-    FIGURE5_TC_SIZES,
-    Figure5Point,
-    StreamCache,
-    default_instructions,
-    figure5_sweep,
-    frontend_config,
-    processor_config,
-    run_frontend_point,
-    run_processor_point,
 )
 from repro.analysis.results import (
     ExperimentRecord,
@@ -29,22 +28,41 @@ from repro.analysis.results import (
     record_frontend_stats,
     record_processor_stats,
 )
+from repro.analysis.sweeps import (
+    FIGURE5_PB_SIZES,
+    FIGURE5_TC_SIZES,
+    Figure5Point,
+    StreamCache,
+    default_instructions,
+    figure5_points,
+    figure5_specs,
+    figure5_sweep,
+    frontend_config,
+    processor_config,
+    run_frontend_point,
+    run_processor_point,
+)
 from repro.analysis.tables import (
     TableRow,
     TablesResult,
     compute_tables,
     format_all_tables,
     format_table,
+    tables_from_results,
+    tables_specs,
 )
 
 __all__ = [
     "bar_chart", "series_table", "ExtendedPipelineResult", "SpeedupResult",
-    "figure5_series", "figure6", "figure8", "format_figure5",
+    "figure5_series", "figure6", "figure6_from_results", "figure6_specs",
+    "figure8", "figure8_from_results", "figure8_specs", "format_figure5",
     "format_figure6", "format_figure8", "FIGURE5_PB_SIZES",
     "FIGURE5_TC_SIZES", "Figure5Point", "StreamCache",
-    "default_instructions", "figure5_sweep", "frontend_config",
-    "processor_config", "run_frontend_point", "run_processor_point",
+    "default_instructions", "figure5_points", "figure5_specs",
+    "figure5_sweep", "frontend_config", "processor_config",
+    "run_frontend_point", "run_processor_point",
     "TableRow", "TablesResult", "compute_tables", "format_all_tables",
-    "format_table", "ExperimentRecord", "ResultSet",
+    "format_table", "tables_from_results", "tables_specs",
+    "ExperimentRecord", "ResultSet",
     "record_frontend_stats", "record_processor_stats",
 ]

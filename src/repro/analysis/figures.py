@@ -14,13 +14,17 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional, Sequence
 
 from repro.analysis.charts import bar_chart, series_table
-from repro.analysis.sweeps import (
-    Figure5Point,
+from repro.analysis.sweeps import Figure5Point
+from repro.runner import (
+    ExperimentSpec,
+    ResultCache,
+    RunResult,
     StreamCache,
-    figure5_sweep,
-    run_processor_point,
+    resolve_instructions,
+    sweep,
 )
 
 SPEEDUP_BENCHMARKS = ("gcc", "go", "perl", "vortex")
@@ -68,17 +72,33 @@ class SpeedupResult:
         return 100.0 * (self.base_cycles / self.precon_cycles - 1.0)
 
 
+def figure6_specs(instructions: Optional[int] = None,
+                  benchmarks=SPEEDUP_BENCHMARKS,
+                  base=(256, 0), precon=(128, 128)) -> list[ExperimentSpec]:
+    """The (baseline, preconstruction) processor pair per benchmark."""
+    budget = resolve_instructions(instructions)
+    return [ExperimentSpec(benchmark=benchmark, tc_entries=tc, pb_entries=pb,
+                           kind="processor", instructions=budget)
+            for benchmark in benchmarks for tc, pb in (base, precon)]
+
+
+def figure6_from_results(results: Sequence[RunResult]) -> list[SpeedupResult]:
+    """Assemble runner results (in :func:`figure6_specs` order)."""
+    pairs = iter(results)
+    return [SpeedupResult(base.spec.benchmark, base.metrics["cycles"],
+                          pre.metrics["cycles"])
+            for base, pre in zip(pairs, pairs)]
+
+
 def figure6(cache: StreamCache,
             benchmarks=SPEEDUP_BENCHMARKS,
-            base=(256, 0), precon=(128, 128)) -> list[SpeedupResult]:
+            base=(256, 0), precon=(128, 128), *, jobs: int = 1,
+            result_cache: Optional[ResultCache] = None
+            ) -> list[SpeedupResult]:
     """Performance improvement from preconstruction (equal area)."""
-    results = []
-    for benchmark in benchmarks:
-        base_stats = run_processor_point(cache, benchmark, *base)
-        pre_stats = run_processor_point(cache, benchmark, *precon)
-        results.append(SpeedupResult(benchmark, base_stats.cycles,
-                                     pre_stats.cycles))
-    return results
+    specs = figure6_specs(cache.instructions, benchmarks, base, precon)
+    return figure6_from_results(sweep(specs, jobs=jobs, cache=result_cache,
+                                      stream_cache=cache))
 
 
 def format_figure6(results: list[SpeedupResult]) -> str:
@@ -125,23 +145,46 @@ class ExtendedPipelineResult:
         return self.combined_percent - self.sum_percent
 
 
+def figure8_specs(instructions: Optional[int] = None,
+                  benchmarks=SPEEDUP_BENCHMARKS,
+                  base=(256, 0), precon=(128, 128)) -> list[ExperimentSpec]:
+    """The four Figure 8 configurations per benchmark, as specs."""
+    budget = resolve_instructions(instructions)
+    specs = []
+    for benchmark in benchmarks:
+        for (tc, pb), preprocess in ((base, False), (precon, False),
+                                     (base, True), (precon, True)):
+            specs.append(ExperimentSpec(
+                benchmark=benchmark, tc_entries=tc, pb_entries=pb,
+                preprocess=preprocess, kind="processor",
+                instructions=budget))
+    return specs
+
+
+def figure8_from_results(results: Sequence[RunResult]
+                         ) -> list[ExtendedPipelineResult]:
+    """Assemble runner results (in :func:`figure8_specs` order)."""
+    quads = iter(results)
+    assembled = []
+    for base, pre, prep, both in zip(quads, quads, quads, quads):
+        assembled.append(ExtendedPipelineResult(
+            benchmark=base.spec.benchmark,
+            base_cycles=base.metrics["cycles"],
+            precon_cycles=pre.metrics["cycles"],
+            preproc_cycles=prep.metrics["cycles"],
+            combined_cycles=both.metrics["cycles"]))
+    return assembled
+
+
 def figure8(cache: StreamCache,
             benchmarks=SPEEDUP_BENCHMARKS,
-            base=(256, 0), precon=(128, 128)) -> list[ExtendedPipelineResult]:
+            base=(256, 0), precon=(128, 128), *, jobs: int = 1,
+            result_cache: Optional[ResultCache] = None
+            ) -> list[ExtendedPipelineResult]:
     """The extended pipeline comparison (paper §6)."""
-    results = []
-    for benchmark in benchmarks:
-        base_stats = run_processor_point(cache, benchmark, *base)
-        pre = run_processor_point(cache, benchmark, *precon)
-        prep = run_processor_point(cache, benchmark, *base,
-                                   preprocess=True)
-        both = run_processor_point(cache, benchmark, *precon,
-                                   preprocess=True)
-        results.append(ExtendedPipelineResult(
-            benchmark=benchmark, base_cycles=base_stats.cycles,
-            precon_cycles=pre.cycles, preproc_cycles=prep.cycles,
-            combined_cycles=both.cycles))
-    return results
+    specs = figure8_specs(cache.instructions, benchmarks, base, precon)
+    return figure8_from_results(sweep(specs, jobs=jobs, cache=result_cache,
+                                      stream_cache=cache))
 
 
 def format_figure8(results: list[ExtendedPipelineResult]) -> str:

@@ -1,102 +1,157 @@
-"""Sweep orchestration: run the simulators over benchmark x config grids.
+"""Sweep drivers: benchmark x configuration grids as spec batches.
 
-All experiment drivers share a :class:`StreamCache` so each benchmark's
-dynamic stream is generated once per process (the trace-driven design
-makes frontend runs cheap to repeat across cache configurations).
+Every driver now describes its grid as a list of
+:class:`~repro.runner.ExperimentSpec` and delegates execution to
+:mod:`repro.runner` — which deduplicates points, serves unchanged ones
+from the content-addressed result cache, and fans benchmark groups out
+across worker processes (``jobs``).  The ``*_specs`` builders and
+``*_points`` assemblers are exposed separately so ``repro all`` can
+batch every exhibit's specs through one scheduler pass.
 
-The default instruction budget scales the paper's 200M-instruction runs
-down ~2000x alongside the ~30x smaller code footprints; override via
-the ``REPRO_INSTRUCTIONS`` environment variable.
+The legacy loose-kwargs helpers (``frontend_config(tc, pb, ...)``,
+``run_frontend_point(cache, benchmark, tc, ...)``) still work but emit
+:class:`DeprecationWarning`; pass an :class:`ExperimentSpec` instead.
+
+The per-run instruction budget follows one precedence order —
+explicit value > ``REPRO_INSTRUCTIONS`` env > built-in default — see
+:func:`repro.runner.resolve_instructions`.
 """
 
 from __future__ import annotations
 
-import os
+import warnings
 from dataclasses import dataclass
-from typing import Iterable, Optional
+from typing import Iterable, Optional, Sequence
 
-from repro.core import PreconstructionConfig
-from repro.engine import FunctionalEngine, StreamRecord
-from repro.preprocess import PreprocessConfig
-from repro.processor import (
-    BackendConfig,
-    ProcessorConfig,
-    ProcessorStats,
-    run_processor,
+from repro.processor import ProcessorConfig, ProcessorStats, run_processor
+from repro.runner import (
+    ExperimentSpec,
+    ResultCache,
+    RunResult,
+    StreamCache,
+    build_frontend_config,
+    build_processor_config,
+    resolve_instructions,
+    sweep,
 )
 from repro.sim import FrontendConfig, FrontendStats, run_frontend
-from repro.trace import TraceCacheConfig
-from repro.workloads import build_workload
+
+__all__ = [
+    "FIGURE5_PB_SIZES", "FIGURE5_TC_SIZES", "Figure5Point", "StreamCache",
+    "default_instructions", "figure5_points", "figure5_specs",
+    "figure5_sweep", "frontend_config", "processor_config",
+    "run_frontend_point", "run_processor_point",
+]
+
+_SPEC_HINT = ("build a repro.api.ExperimentSpec and pass it instead "
+              "(see README 'The repro.api surface')")
 
 
 def default_instructions() -> int:
-    """Per-run instruction budget (env-overridable)."""
-    return int(os.environ.get("REPRO_INSTRUCTIONS", "100000"))
+    """Per-run instruction budget (env-overridable).
+
+    Alias for :func:`repro.runner.resolve_instructions` with no
+    explicit value: ``REPRO_INSTRUCTIONS`` env > built-in default.
+    """
+    return resolve_instructions()
 
 
-class StreamCache:
-    """Generate-once cache of benchmark dynamic streams."""
-
-    def __init__(self, instructions: Optional[int] = None) -> None:
-        self.instructions = instructions or default_instructions()
-        self._streams: dict[str, list[StreamRecord]] = {}
-        self._images = {}
-
-    def image(self, benchmark: str):
-        if benchmark not in self._images:
-            self._images[benchmark] = build_workload(benchmark).image
-        return self._images[benchmark]
-
-    def stream(self, benchmark: str) -> list[StreamRecord]:
-        if benchmark not in self._streams:
-            engine = FunctionalEngine(self.image(benchmark))
-            self._streams[benchmark] = engine.run(self.instructions)
-        return self._streams[benchmark]
-
-
-def frontend_config(tc_entries: int, pb_entries: int = 0,
+# ----------------------------------------------------------------------
+# Configuration builders (spec-first; loose kwargs deprecated)
+# ----------------------------------------------------------------------
+def frontend_config(tc_entries, pb_entries: int = 0,
                     static_seed: bool = False) -> FrontendConfig:
-    """Standard frontend configuration for a TC/PB size point."""
-    precon = (PreconstructionConfig(buffer_entries=pb_entries)
-              if pb_entries else None)
-    return FrontendConfig(trace_cache=TraceCacheConfig(entries=tc_entries),
-                          preconstruction=precon,
-                          static_seed=static_seed)
+    """Standard frontend configuration for a TC/PB size point.
+
+    Preferred form: ``frontend_config(spec)`` with an
+    :class:`ExperimentSpec`.  The positional ``(tc_entries, pb_entries,
+    static_seed)`` form is deprecated.
+    """
+    if isinstance(tc_entries, ExperimentSpec):
+        return tc_entries.frontend_config()
+    warnings.warn(
+        "frontend_config(tc_entries, pb_entries, static_seed) is "
+        f"deprecated; {_SPEC_HINT}", DeprecationWarning, stacklevel=2)
+    return build_frontend_config(tc_entries, pb_entries,
+                                 static_seed=static_seed)
 
 
-def run_frontend_point(cache: StreamCache, benchmark: str,
-                       tc_entries: int, pb_entries: int = 0,
-                       static_seed: bool = False) -> FrontendStats:
-    """One frontend simulation at a (benchmark, TC, PB) point."""
-    result = run_frontend(cache.image(benchmark),
-                          frontend_config(tc_entries, pb_entries,
-                                          static_seed=static_seed),
-                          cache.instructions,
-                          stream=cache.stream(benchmark))
-    return result.stats
-
-
-def processor_config(tc_entries: int, pb_entries: int = 0,
+def processor_config(tc_entries, pb_entries: int = 0,
                      preprocess: bool = False) -> ProcessorConfig:
-    """Standard full-processor configuration for Figures 6/8."""
-    return ProcessorConfig(
-        frontend=frontend_config(tc_entries, pb_entries),
-        backend=BackendConfig(),
-        preprocess=PreprocessConfig() if preprocess else None)
+    """Standard full-processor configuration for Figures 6/8.
+
+    Preferred form: ``processor_config(spec)`` with an
+    :class:`ExperimentSpec`; the positional form is deprecated.
+    """
+    if isinstance(tc_entries, ExperimentSpec):
+        return tc_entries.processor_config()
+    warnings.warn(
+        "processor_config(tc_entries, pb_entries, preprocess) is "
+        f"deprecated; {_SPEC_HINT}", DeprecationWarning, stacklevel=2)
+    return build_processor_config(tc_entries, pb_entries,
+                                  preprocess=preprocess)
 
 
-def run_processor_point(cache: StreamCache, benchmark: str,
-                        tc_entries: int, pb_entries: int = 0,
-                        preprocess: bool = False) -> ProcessorStats:
-    """One full-processor simulation at a configuration point."""
-    result = run_processor(cache.image(benchmark),
-                           processor_config(tc_entries, pb_entries,
-                                            preprocess),
-                           cache.instructions,
-                           stream=cache.stream(benchmark))
+# ----------------------------------------------------------------------
+# Single-point runners (spec-first; loose kwargs deprecated)
+# ----------------------------------------------------------------------
+def _coerce_frontend_spec(cache: StreamCache, benchmark, tc_entries,
+                          pb_entries, static_seed, caller) -> ExperimentSpec:
+    if isinstance(benchmark, ExperimentSpec):
+        return benchmark
+    warnings.warn(
+        f"{caller}(cache, benchmark, tc_entries, ...) is deprecated; "
+        f"{_SPEC_HINT}", DeprecationWarning, stacklevel=3)
+    return ExperimentSpec(benchmark=benchmark, tc_entries=tc_entries,
+                          pb_entries=pb_entries, static_seed=static_seed,
+                          instructions=cache.instructions)
+
+
+def run_frontend_point(cache: StreamCache, benchmark,
+                       tc_entries: Optional[int] = None, pb_entries: int = 0,
+                       static_seed: bool = False) -> FrontendStats:
+    """One frontend simulation at a (benchmark, TC, PB) point.
+
+    Preferred form: ``run_frontend_point(cache, spec)``.
+    """
+    spec = _coerce_frontend_spec(cache, benchmark, tc_entries, pb_entries,
+                                 static_seed, "run_frontend_point")
+    result = run_frontend(cache.image(spec.benchmark, spec.workload_seed),
+                          spec.frontend_config(),
+                          min(spec.instructions, cache.instructions),
+                          stream=cache.stream(spec.benchmark,
+                                              spec.workload_seed))
     return result.stats
 
 
+def run_processor_point(cache: StreamCache, benchmark,
+                        tc_entries: Optional[int] = None, pb_entries: int = 0,
+                        preprocess: bool = False) -> ProcessorStats:
+    """One full-processor simulation at a configuration point.
+
+    Preferred form: ``run_processor_point(cache, spec)``.
+    """
+    if isinstance(benchmark, ExperimentSpec):
+        spec = benchmark
+    else:
+        warnings.warn(
+            "run_processor_point(cache, benchmark, tc_entries, ...) is "
+            f"deprecated; {_SPEC_HINT}", DeprecationWarning, stacklevel=2)
+        spec = ExperimentSpec(benchmark=benchmark, tc_entries=tc_entries,
+                              pb_entries=pb_entries, preprocess=preprocess,
+                              kind="processor",
+                              instructions=cache.instructions)
+    result = run_processor(cache.image(spec.benchmark, spec.workload_seed),
+                           spec.processor_config(),
+                           min(spec.instructions, cache.instructions),
+                           stream=cache.stream(spec.benchmark,
+                                               spec.workload_seed))
+    return result.stats
+
+
+# ----------------------------------------------------------------------
+# Figure 5
+# ----------------------------------------------------------------------
 @dataclass
 class Figure5Point:
     """One point of the Figure 5 curves."""
@@ -120,16 +175,33 @@ FIGURE5_TC_SIZES = (64, 128, 256, 512, 1024)
 FIGURE5_PB_SIZES = (0, 32, 128, 256)
 
 
-def figure5_sweep(cache: StreamCache, benchmark: str,
+def figure5_specs(benchmark: str, instructions: Optional[int] = None,
                   tc_sizes: Iterable[int] = FIGURE5_TC_SIZES,
                   pb_sizes: Iterable[int] = FIGURE5_PB_SIZES
+                  ) -> list[ExperimentSpec]:
+    """The Figure 5 grid for one benchmark, as specs."""
+    budget = resolve_instructions(instructions)
+    return [ExperimentSpec(benchmark=benchmark, tc_entries=tc,
+                           pb_entries=pb, instructions=budget)
+            for tc in tc_sizes for pb in pb_sizes]
+
+
+def figure5_points(results: Sequence[RunResult]) -> list[Figure5Point]:
+    """Assemble runner results into Figure 5 points."""
+    return [Figure5Point(benchmark=r.spec.benchmark,
+                         tc_entries=r.spec.tc_entries,
+                         pb_entries=r.spec.pb_entries,
+                         miss_per_ki=r.metrics["trace_misses_per_ki"])
+            for r in results]
+
+
+def figure5_sweep(cache: StreamCache, benchmark: str,
+                  tc_sizes: Iterable[int] = FIGURE5_TC_SIZES,
+                  pb_sizes: Iterable[int] = FIGURE5_PB_SIZES, *,
+                  jobs: int = 1,
+                  result_cache: Optional[ResultCache] = None
                   ) -> list[Figure5Point]:
     """Miss-rate grid for one benchmark (the Figure 5 panel data)."""
-    points = []
-    for tc in tc_sizes:
-        for pb in pb_sizes:
-            stats = run_frontend_point(cache, benchmark, tc, pb)
-            points.append(Figure5Point(
-                benchmark=benchmark, tc_entries=tc, pb_entries=pb,
-                miss_per_ki=stats.trace_miss_rate_per_ki))
-    return points
+    specs = figure5_specs(benchmark, cache.instructions, tc_sizes, pb_sizes)
+    return figure5_points(sweep(specs, jobs=jobs, cache=result_cache,
+                                stream_cache=cache))

@@ -16,8 +16,16 @@ Table 3 — instructions supplied by I-cache *misses* per 1000
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional, Sequence
 
-from repro.analysis.sweeps import StreamCache, run_frontend_point
+from repro.runner import (
+    ExperimentSpec,
+    ResultCache,
+    RunResult,
+    StreamCache,
+    resolve_instructions,
+    sweep,
+)
 
 TABLE_BENCHMARKS = ("gcc", "go")
 BASELINE = (512, 0)
@@ -48,20 +56,42 @@ class TablesResult:
     table3: list[TableRow]
 
 
-def compute_tables(cache: StreamCache,
-                   benchmarks=TABLE_BENCHMARKS) -> TablesResult:
-    """Run both configurations per benchmark and extract all 3 tables."""
-    t1, t2, t3 = [], [], []
+def tables_specs(instructions: Optional[int] = None,
+                 benchmarks=TABLE_BENCHMARKS) -> list[ExperimentSpec]:
+    """The (baseline, preconstruction) spec pair per benchmark."""
+    budget = resolve_instructions(instructions)
+    specs = []
     for benchmark in benchmarks:
-        base = run_frontend_point(cache, benchmark, *BASELINE)
-        pre = run_frontend_point(cache, benchmark, *PRECON)
-        t1.append(TableRow(benchmark, base.icache_instructions_per_ki,
-                           pre.icache_instructions_per_ki))
-        t2.append(TableRow(benchmark, base.icache_misses_per_ki,
-                           pre.icache_misses_per_ki))
-        t3.append(TableRow(benchmark, base.icache_miss_instructions_per_ki,
-                           pre.icache_miss_instructions_per_ki))
+        for tc, pb in (BASELINE, PRECON):
+            specs.append(ExperimentSpec(benchmark=benchmark, tc_entries=tc,
+                                        pb_entries=pb, instructions=budget))
+    return specs
+
+
+def tables_from_results(results: Sequence[RunResult],
+                        benchmarks=TABLE_BENCHMARKS) -> TablesResult:
+    """Assemble runner results (in :func:`tables_specs` order)."""
+    t1, t2, t3 = [], [], []
+    pairs = iter(results)
+    for benchmark in benchmarks:
+        base, pre = next(pairs).metrics, next(pairs).metrics
+        t1.append(TableRow(benchmark, base["icache_instructions_per_ki"],
+                           pre["icache_instructions_per_ki"]))
+        t2.append(TableRow(benchmark, base["icache_misses_per_ki"],
+                           pre["icache_misses_per_ki"]))
+        t3.append(TableRow(benchmark, base["icache_miss_instructions_per_ki"],
+                           pre["icache_miss_instructions_per_ki"]))
     return TablesResult(table1=t1, table2=t2, table3=t3)
+
+
+def compute_tables(cache: StreamCache,
+                   benchmarks=TABLE_BENCHMARKS, *, jobs: int = 1,
+                   result_cache: Optional[ResultCache] = None
+                   ) -> TablesResult:
+    """Run both configurations per benchmark and extract all 3 tables."""
+    specs = tables_specs(cache.instructions, benchmarks)
+    results = sweep(specs, jobs=jobs, cache=result_cache, stream_cache=cache)
+    return tables_from_results(results, benchmarks)
 
 
 _TITLES = {

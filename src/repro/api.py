@@ -1,0 +1,118 @@
+"""Stable top-level facade: the one import surface for downstream use.
+
+Instead of importing from five deep modules (``repro.analysis.sweeps``,
+``repro.sim.frontend_runner``, ``repro.workloads.spec95``, ...),
+downstream code imports everything from here::
+
+    from repro.api import ExperimentSpec, run_point, sweep
+
+    spec = ExperimentSpec(benchmark="gcc", tc_entries=256, pb_entries=256)
+    result = run_point(spec)
+    print(result.metrics["trace_misses_per_ki"])
+
+The surface, by layer:
+
+* **Experiment description & execution** — :class:`ExperimentSpec`,
+  :class:`RunResult`, :func:`run_point`, :func:`sweep`,
+  :class:`ExperimentRunner`, :class:`ResultCache`,
+  :class:`StreamCache`, :func:`resolve_instructions`;
+* **Workloads** — :func:`build_workload`, :data:`SPEC95_NAMES`,
+  :class:`WorkloadProfile`, :func:`generate`;
+* **Static analysis** — :func:`analyze` (benchmark name in, full
+  :class:`StaticAnalysisReport` out);
+* **Simulators** (for bespoke studies) — :func:`run_frontend`,
+  :func:`run_processor`, :func:`run_dynamic_frontend` and their
+  configuration types;
+* **Building blocks** (for custom workload scripts) —
+  :func:`assemble`, :class:`ProgramImage`, :class:`FunctionalEngine`,
+  :class:`TraceCache`, :class:`PreconstructionEngine`, ...
+
+Names exported here are covered by the deprecation policy: removals go
+through a ``DeprecationWarning`` cycle first.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import (
+    compute_tables,
+    figure5_sweep,
+    figure6,
+    figure8,
+    format_all_tables,
+    format_figure5,
+    format_figure6,
+    format_figure8,
+)
+from repro.branch import BimodalPredictor
+from repro.caches import InstructionCache
+from repro.core import PreconstructionConfig, PreconstructionEngine
+from repro.engine import FunctionalEngine
+from repro.isa import assemble
+from repro.program import ProgramImage
+from repro.processor import ProcessorConfig, run_processor
+from repro.runner import (
+    DEFAULT_INSTRUCTIONS,
+    ExperimentRunner,
+    ExperimentSpec,
+    ResultCache,
+    RunResult,
+    StreamCache,
+    TimingReport,
+    build_frontend_config,
+    build_processor_config,
+    resolve_instructions,
+    run_point,
+    sweep,
+)
+from repro.sim import (
+    DynamicPartitionConfig,
+    FrontendConfig,
+    run_dynamic_frontend,
+    run_frontend,
+)
+from repro.static import StaticAnalysisReport, analyze_image
+from repro.trace import TraceCache, traces_of_stream
+from repro.workloads import (
+    SPEC95_NAMES,
+    WorkloadProfile,
+    build_workload,
+    generate,
+)
+
+
+def analyze(benchmark: str, *,
+            workload_seed: int | None = None) -> StaticAnalysisReport:
+    """Static analysis + lint report for a named benchmark.
+
+    Builds the workload (honouring ``workload_seed``) and runs the
+    whole static pipeline — CFG recovery, dominators/loops, call graph,
+    verifier, region seeding — the engine behind
+    ``python -m repro analyze``.
+    """
+    workload = build_workload(benchmark, seed=workload_seed)
+    return analyze_image(workload.image, intents=workload.branch_intents,
+                         name=benchmark)
+
+
+__all__ = [
+    # experiment description & execution
+    "DEFAULT_INSTRUCTIONS", "ExperimentRunner", "ExperimentSpec",
+    "ResultCache", "RunResult", "StreamCache", "TimingReport",
+    "resolve_instructions", "run_point", "sweep",
+    # workloads
+    "SPEC95_NAMES", "WorkloadProfile", "build_workload", "generate",
+    # static analysis
+    "StaticAnalysisReport", "analyze", "analyze_image",
+    # simulators
+    "DynamicPartitionConfig", "FrontendConfig", "ProcessorConfig",
+    "build_frontend_config", "build_processor_config",
+    "run_dynamic_frontend", "run_frontend", "run_processor",
+    # exhibit drivers
+    "compute_tables", "figure5_sweep", "figure6", "figure8",
+    "format_all_tables", "format_figure5", "format_figure6",
+    "format_figure8",
+    # building blocks
+    "BimodalPredictor", "FunctionalEngine", "InstructionCache",
+    "PreconstructionConfig", "PreconstructionEngine", "ProgramImage",
+    "TraceCache", "assemble", "traces_of_stream",
+]

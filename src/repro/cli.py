@@ -5,45 +5,80 @@ Usage::
     python -m repro list
     python -m repro analyze gcc [--json]
     python -m repro point gcc --tc 256 --pb 256 [--static-seed]
-    python -m repro figure5 --benchmarks gcc go --instructions 60000
-    python -m repro tables
-    python -m repro figure6
-    python -m repro figure8
+    python -m repro figure5 --benchmarks gcc go --jobs 4
+    python -m repro tables [--jobs N] [--benchmarks ...]
+    python -m repro figure6 [--jobs N] [--benchmarks ...]
+    python -m repro figure8 [--jobs N] [--benchmarks ...]
     python -m repro dynamic --benchmarks gcc go
+    python -m repro all --jobs 4 [--timing-report timing.json]
+    python -m repro cache [--clear]
 
-Each command prints the corresponding table/figure in the layout used
-by EXPERIMENTS.md.
+Every exhibit command routes through :mod:`repro.runner`: points are
+described as :class:`ExperimentSpec` batches, deduplicated, served
+from the content-addressed result cache when inputs are unchanged
+(disable with ``--no-cache``, relocate with ``--cache-dir``), and
+fanned out across ``--jobs`` worker processes grouped by benchmark.
+Output is bit-identical regardless of ``--jobs`` — results merge in
+spec order.  ``repro all`` regenerates every exhibit through a single
+scheduler pass and can write its timing report for CI artifacts.
+
+The instruction budget precedence is ``--instructions`` >
+``REPRO_INSTRUCTIONS`` env > built-in default (60 000).
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import Sequence
+from typing import Callable, Optional, Sequence
 
 from repro.analysis import (
-    StreamCache,
-    compute_tables,
-    figure5_sweep,
-    figure6,
-    figure8,
+    figure5_points,
+    figure5_specs,
+    figure6_from_results,
+    figure6_specs,
+    figure8_from_results,
+    figure8_specs,
     format_all_tables,
     format_figure5,
     format_figure6,
     format_figure8,
-    frontend_config,
-    run_frontend_point,
+    tables_from_results,
+    tables_specs,
 )
-from repro.sim import run_dynamic_frontend, run_frontend
+from repro.analysis.figures import SPEEDUP_BENCHMARKS
+from repro.analysis.tables import TABLE_BENCHMARKS
+from repro.runner import (
+    ExperimentRunner,
+    ExperimentSpec,
+    ResultCache,
+    RunResult,
+    resolve_instructions,
+    run_point,
+    stderr_progress,
+)
 from repro.workloads import SPEC95_NAMES
+
+DYNAMIC_BENCHMARKS = ("gcc", "go")
+#: The (TC, PB) split the dynamic-partition exhibit compares against.
+DYNAMIC_SPLIT = (384, 128)
+
+Lookup = dict[ExperimentSpec, RunResult]
+Exhibit = tuple[str, list[ExperimentSpec], Callable[[Lookup], str]]
 
 
 def _parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Trace Preconstruction (ISCA 2000) reproduction")
-    parser.add_argument("--instructions", type=int, default=60_000,
-                        help="instruction budget per simulation run")
+    parser.add_argument("--instructions", type=int, default=None,
+                        help="instruction budget per simulation run "
+                             "(default: REPRO_INSTRUCTIONS env, else 60000)")
+    parser.add_argument("--cache-dir", default=None,
+                        help="result-cache directory (default: "
+                             "REPRO_CACHE_DIR env, else ~/.cache/repro)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="do not read or write the result cache")
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("list", help="list the SPECint95 stand-in benchmarks")
@@ -71,14 +106,166 @@ def _parser() -> argparse.ArgumentParser:
             ("figure8", "extended pipeline speedups"),
             ("dynamic", "dynamic-partition extension experiment")):
         cmd = sub.add_parser(name, help=helptext)
-        if name in ("figure5", "dynamic"):
-            cmd.add_argument("--benchmarks", nargs="+",
-                             choices=SPEC95_NAMES,
-                             default=list(SPEC95_NAMES)
-                             if name == "figure5" else ["gcc", "go"])
+        cmd.add_argument("--jobs", type=int, default=1,
+                         help="worker processes (grouped by benchmark)")
+        cmd.add_argument("--benchmarks", nargs="+", choices=SPEC95_NAMES,
+                         default=None,
+                         help="restrict the exhibit to these benchmarks "
+                              "(intersected with its default set)")
+
+    allcmd = sub.add_parser(
+        "all", help="regenerate every paper exhibit in one scheduler pass")
+    allcmd.add_argument("--jobs", type=int, default=1,
+                        help="worker processes (grouped by benchmark)")
+    allcmd.add_argument("--benchmarks", nargs="+", choices=SPEC95_NAMES,
+                        default=None,
+                        help="restrict every exhibit to these benchmarks "
+                             "(intersected with each exhibit's default set)")
+    allcmd.add_argument("--timing-report", default=None, metavar="PATH",
+                        help="write the scheduler timing report as JSON")
+
+    cachecmd = sub.add_parser("cache", help="inspect the result cache")
+    cachecmd.add_argument("--clear", action="store_true",
+                          help="delete every cached result")
     return parser
 
 
+# ----------------------------------------------------------------------
+# Exhibit sections (shared by the single commands and ``repro all``)
+# ----------------------------------------------------------------------
+def _restrict(defaults: Sequence[str],
+              selected: Optional[Sequence[str]]) -> list[str]:
+    """Intersect an exhibit's default benchmark set with a user filter
+    (falling back to the defaults when the intersection is empty)."""
+    if selected is None:
+        return list(defaults)
+    restricted = [b for b in defaults if b in selected]
+    return restricted or list(defaults)
+
+
+def _dynamic_specs(benchmark: str, instructions: int
+                   ) -> tuple[ExperimentSpec, ExperimentSpec]:
+    tc, pb = DYNAMIC_SPLIT
+    static = ExperimentSpec(benchmark=benchmark, tc_entries=tc,
+                            pb_entries=pb, instructions=instructions)
+    return static, static.replace(kind="dynamic")
+
+
+def _figure5_exhibit(benchmarks: Sequence[str], instructions: int) -> Exhibit:
+    specs = [spec for benchmark in benchmarks
+             for spec in figure5_specs(benchmark, instructions)]
+
+    def render(lookup: Lookup) -> str:
+        blocks = []
+        for benchmark in benchmarks:
+            panel = figure5_specs(benchmark, instructions)
+            blocks.append(format_figure5(
+                benchmark, figure5_points([lookup[s] for s in panel])))
+        return "\n\n".join(blocks)
+
+    return "figure5", specs, render
+
+
+def _tables_exhibit(benchmarks: Sequence[str], instructions: int) -> Exhibit:
+    specs = tables_specs(instructions, benchmarks)
+
+    def render(lookup: Lookup) -> str:
+        return format_all_tables(
+            tables_from_results([lookup[s] for s in specs], benchmarks))
+
+    return "tables", specs, render
+
+
+def _figure6_exhibit(benchmarks: Sequence[str], instructions: int) -> Exhibit:
+    specs = figure6_specs(instructions, benchmarks)
+
+    def render(lookup: Lookup) -> str:
+        return format_figure6(
+            figure6_from_results([lookup[s] for s in specs]))
+
+    return "figure6", specs, render
+
+
+def _figure8_exhibit(benchmarks: Sequence[str], instructions: int) -> Exhibit:
+    specs = figure8_specs(instructions, benchmarks)
+
+    def render(lookup: Lookup) -> str:
+        return format_figure8(
+            figure8_from_results([lookup[s] for s in specs]))
+
+    return "figure8", specs, render
+
+
+def _dynamic_exhibit(benchmarks: Sequence[str], instructions: int) -> Exhibit:
+    pairs = [_dynamic_specs(benchmark, instructions)
+             for benchmark in benchmarks]
+    specs = [spec for pair in pairs for spec in pair]
+
+    def render(lookup: Lookup) -> str:
+        tc, pb = DYNAMIC_SPLIT
+        lines = []
+        for benchmark, (static, dynamic) in zip(benchmarks, pairs):
+            static_miss = lookup[static].metrics["trace_misses_per_ki"]
+            moving = lookup[dynamic].metrics
+            lines.append(
+                f"{benchmark}: static({tc}+{pb})={static_miss:.2f} miss/KI, "
+                f"dynamic={moving['trace_misses_per_ki']:.2f} miss/KI, "
+                f"trajectory={moving['pb_trajectory']}")
+        return "\n".join(lines)
+
+    return "dynamic", specs, render
+
+
+def _plan(command: str, instructions: int,
+          selected: Optional[Sequence[str]]) -> list[Exhibit]:
+    """The exhibits a command regenerates, in presentation order."""
+    builders = {
+        "figure5": lambda: _figure5_exhibit(
+            _restrict(SPEC95_NAMES, selected), instructions),
+        "tables": lambda: _tables_exhibit(
+            _restrict(TABLE_BENCHMARKS, selected), instructions),
+        "figure6": lambda: _figure6_exhibit(
+            _restrict(SPEEDUP_BENCHMARKS, selected), instructions),
+        "figure8": lambda: _figure8_exhibit(
+            _restrict(SPEEDUP_BENCHMARKS, selected), instructions),
+        "dynamic": lambda: _dynamic_exhibit(
+            _restrict(DYNAMIC_BENCHMARKS, selected), instructions),
+    }
+    if command == "all":
+        return [builders[name]() for name in
+                ("figure5", "tables", "figure6", "figure8", "dynamic")]
+    return [builders[command]()]
+
+
+def _run_exhibits(args, instructions: int) -> int:
+    result_cache = (None if args.no_cache
+                    else ResultCache(args.cache_dir))
+    selected = getattr(args, "benchmarks", None)
+    exhibits = _plan(args.command, instructions, selected)
+    specs = [spec for _, exhibit_specs, _ in exhibits
+             for spec in exhibit_specs]
+    progress = stderr_progress if (args.jobs > 1 or args.command == "all") \
+        else None
+    runner = ExperimentRunner(jobs=args.jobs, cache=result_cache,
+                              progress=progress)
+    lookup: Lookup = dict(zip(specs, runner.run(specs)))
+    for index, (_, _, render) in enumerate(exhibits):
+        if index:
+            print()
+        print(render(lookup))
+    if args.command in ("figure5", "all"):
+        print()
+    if args.command == "all":
+        report = runner.report
+        if args.timing_report:
+            from pathlib import Path
+
+            Path(args.timing_report).write_text(report.to_json())
+        print(f"repro all: {report.summary()}", file=sys.stderr)
+    return 0
+
+
+# ----------------------------------------------------------------------
 def main(argv: Sequence[str] | None = None) -> int:
     args = _parser().parse_args(argv)
     if args.command == "list":
@@ -87,55 +274,44 @@ def main(argv: Sequence[str] | None = None) -> int:
         return 0
 
     if args.command == "analyze":
-        from repro.static import analyze_image, format_report
-        from repro.workloads import build_workload
+        from repro.api import analyze
+        from repro.static import format_report
 
-        workload = build_workload(args.benchmark)
-        report = analyze_image(workload.image,
-                               intents=workload.branch_intents,
-                               name=args.benchmark)
+        report = analyze(args.benchmark)
         if args.json:
             print(report.to_json())
         else:
             print(format_report(report))
         return 0 if report.ok else 1
 
-    cache = StreamCache(instructions=args.instructions)
+    if args.command == "cache":
+        cache = ResultCache(args.cache_dir)
+        if args.clear:
+            print(f"removed {cache.clear()} cached results from "
+                  f"{cache.root}")
+        else:
+            entries = cache.entries()
+            total = sum(path.stat().st_size for path in entries)
+            print(f"cache root: {cache.root}")
+            print(f"entries:    {len(entries)}")
+            print(f"bytes:      {total}")
+        return 0
+
+    instructions = resolve_instructions(args.instructions)
     if args.command == "point":
-        stats = run_frontend_point(cache, args.benchmark, args.tc, args.pb,
-                                   static_seed=args.static_seed)
-        for key, value in stats.summary().items():
+        spec = ExperimentSpec(benchmark=args.benchmark, tc_entries=args.tc,
+                              pb_entries=args.pb,
+                              static_seed=args.static_seed,
+                              instructions=instructions)
+        cache = None if args.no_cache else ResultCache(args.cache_dir)
+        result = run_point(spec, cache=cache)
+        for key, value in result.metrics.items():
             print(f"{key:32s} {value:12.3f}")
         return 0
-    if args.command == "figure5":
-        for benchmark in args.benchmarks:
-            points = figure5_sweep(cache, benchmark)
-            print(format_figure5(benchmark, points))
-            print()
-        return 0
-    if args.command == "tables":
-        print(format_all_tables(compute_tables(cache)))
-        return 0
-    if args.command == "figure6":
-        print(format_figure6(figure6(cache)))
-        return 0
-    if args.command == "figure8":
-        print(format_figure8(figure8(cache)))
-        return 0
-    if args.command == "dynamic":
-        for benchmark in args.benchmarks:
-            image = cache.image(benchmark)
-            stream = cache.stream(benchmark)
-            static = run_frontend(image, frontend_config(384, 128),
-                                  len(stream), stream=stream)
-            dynamic, events = run_dynamic_frontend(
-                image, frontend_config(384, 128), stream)
-            print(f"{benchmark}: static(384+128)="
-                  f"{static.stats.trace_miss_rate_per_ki:.2f} miss/KI, "
-                  f"dynamic={dynamic.stats.trace_miss_rate_per_ki:.2f} "
-                  f"miss/KI, trajectory="
-                  f"{[event.pb_entries for event in events]}")
-        return 0
+
+    if args.command in ("figure5", "tables", "figure6", "figure8",
+                        "dynamic", "all"):
+        return _run_exhibits(args, instructions)
     return 1  # pragma: no cover - argparse enforces choices
 
 

@@ -1,0 +1,113 @@
+"""Content-addressed on-disk cache of experiment results.
+
+Each :class:`~repro.runner.spec.RunResult` is stored as one JSON file
+under ``<root>/v<schema>/<digest>.json`` where ``digest`` is the
+spec's SHA-256 content address (:meth:`ExperimentSpec.digest`).  The
+key is ``(schema_version, spec digest)``: changing any spec field *or*
+bumping :data:`~repro.runner.spec.SPEC_SCHEMA_VERSION` lands on a new
+path, so stale entries are never read — only orphaned (reclaim with
+:meth:`ResultCache.clear` or ``python -m repro cache --clear``).
+
+The default root is ``$REPRO_CACHE_DIR``, else
+``$XDG_CACHE_HOME/repro``, else ``~/.cache/repro``.  Corrupted or
+unreadable entries are treated as misses (the point is recomputed and
+the entry rewritten); writes are atomic (temp file + rename) so a
+killed run never leaves a truncated entry behind.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Optional
+
+from repro.runner.spec import SPEC_SCHEMA_VERSION, ExperimentSpec, RunResult
+
+#: Environment override for the cache root (used by tests and CI to
+#: keep runs hermetic).
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR`` > ``$XDG_CACHE_HOME/repro`` > ``~/.cache/repro``."""
+    env = os.environ.get(CACHE_DIR_ENV)
+    if env:
+        return Path(env)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "repro"
+
+
+class ResultCache:
+    """Digest-keyed store of :class:`RunResult` payloads.
+
+    ``hits`` / ``misses`` / ``stores`` count this process's traffic —
+    the timing report uses them to prove a warm rerun executed nothing.
+    """
+
+    def __init__(self, root: str | Path | None = None,
+                 schema_version: int = SPEC_SCHEMA_VERSION) -> None:
+        self.root = Path(root) if root is not None else default_cache_dir()
+        self.schema_version = schema_version
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    # ------------------------------------------------------------------
+    def path_for(self, spec: ExperimentSpec) -> Path:
+        digest = spec.digest(self.schema_version)
+        return self.root / f"v{self.schema_version}" / f"{digest}.json"
+
+    def get(self, spec: ExperimentSpec) -> Optional[RunResult]:
+        """The cached result for ``spec``, or ``None``.
+
+        Any failure mode — missing file, unreadable file, malformed
+        JSON, schema/digest mismatch — is a miss, never an error.
+        """
+        path = self.path_for(spec)
+        try:
+            payload = json.loads(path.read_text())
+            if payload.get("schema") != self.schema_version:
+                raise ValueError("schema mismatch")
+            if payload.get("digest") != spec.digest(self.schema_version):
+                raise ValueError("digest mismatch")
+            result = RunResult.from_dict(payload, cached=True)
+            if result.spec != spec:
+                raise ValueError("spec mismatch")
+        except (OSError, ValueError, KeyError, TypeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, spec: ExperimentSpec, result: RunResult) -> Path:
+        """Atomically store ``result`` under ``spec``'s digest."""
+        path = self.path_for(spec)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {"schema": self.schema_version,
+                   "digest": spec.digest(self.schema_version),
+                   **result.to_dict()}
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(json.dumps(payload, indent=2))
+        tmp.replace(path)
+        self.stores += 1
+        return path
+
+    # ------------------------------------------------------------------
+    def entries(self) -> list[Path]:
+        """All stored entry files (every schema generation)."""
+        if not self.root.is_dir():
+            return []
+        return sorted(self.root.glob("v*/*.json"))
+
+    def clear(self) -> int:
+        """Delete every stored entry; returns the number removed."""
+        removed = 0
+        for path in self.entries():
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:  # pragma: no cover - racing deletion
+                pass
+        return removed

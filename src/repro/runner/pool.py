@@ -1,0 +1,309 @@
+"""Parallel experiment scheduler with benchmark-grouped workers.
+
+Execution model:
+
+* Specs are deduplicated, checked against the optional
+  :class:`~repro.runner.cache.ResultCache` (all cache I/O stays in the
+  parent process — workers never touch the cache, so there are no
+  write races), and the misses are grouped by
+  ``(benchmark, workload_seed, instructions)``.
+* Each group is one unit of work: a worker builds the benchmark's
+  dynamic stream **once** and replays it across every configuration
+  point in the group — the same generate-once economics the in-process
+  :class:`StreamCache` has always provided, now per worker.
+* With ``jobs > 1`` the groups run under a
+  :class:`~concurrent.futures.ProcessPoolExecutor`; with ``jobs == 1``
+  (or a single group) everything runs inline, reusing the caller's
+  :class:`StreamCache` when one is supplied.
+* Results are merged back **in spec order** regardless of completion
+  order, so parallel output is bit-identical to the serial path.
+
+The cumulative :class:`TimingReport` records per-point wall times,
+cache hits and executed counts — ``repro all --timing-report`` writes
+it out for CI artifacts.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Optional, Sequence
+
+from repro.engine import FunctionalEngine, StreamRecord
+from repro.processor import run_processor
+from repro.runner.cache import ResultCache
+from repro.runner.spec import ExperimentSpec, RunResult, resolve_instructions
+from repro.sim import run_dynamic_frontend, run_frontend
+from repro.workloads import build_workload
+
+Progress = Callable[[str], None]
+
+
+class StreamCache:
+    """Generate-once cache of benchmark images and dynamic streams.
+
+    Keyed by ``(benchmark, workload_seed)``; a ``workload_seed`` of
+    ``None`` keeps the benchmark profile's own seed.
+    """
+
+    def __init__(self, instructions: Optional[int] = None) -> None:
+        self.instructions = resolve_instructions(instructions)
+        self._streams: dict[tuple[str, Optional[int]],
+                            list[StreamRecord]] = {}
+        self._images: dict[tuple[str, Optional[int]], Any] = {}
+
+    def image(self, benchmark: str, workload_seed: Optional[int] = None):
+        key = (benchmark, workload_seed)
+        if key not in self._images:
+            self._images[key] = build_workload(
+                benchmark, seed=workload_seed).image
+        return self._images[key]
+
+    def stream(self, benchmark: str,
+               workload_seed: Optional[int] = None) -> list[StreamRecord]:
+        key = (benchmark, workload_seed)
+        if key not in self._streams:
+            engine = FunctionalEngine(self.image(benchmark, workload_seed))
+            self._streams[key] = engine.run(self.instructions)
+        return self._streams[key]
+
+
+# ----------------------------------------------------------------------
+# Single-point execution
+# ----------------------------------------------------------------------
+def _frontend_metrics(stats) -> dict[str, Any]:
+    return dict(stats.summary())
+
+
+def _processor_metrics(stats) -> dict[str, Any]:
+    return {
+        "instructions": stats.instructions,
+        "traces": stats.traces,
+        "cycles": stats.cycles,
+        "ipc": stats.ipc,
+        "trace_misses_per_ki": stats.trace_miss_rate_per_ki,
+        "buffer_hits": stats.buffer_hits,
+    }
+
+
+def execute_spec(spec: ExperimentSpec,
+                 stream_cache: Optional[StreamCache] = None) -> RunResult:
+    """Run one simulation point, bypassing the result cache.
+
+    A supplied ``stream_cache`` is reused when its budget covers the
+    spec (the functional engine is sequential and deterministic, so a
+    longer stream's prefix equals a shorter run); otherwise a private
+    one is built at the spec's budget.
+    """
+    started = time.perf_counter()
+    if stream_cache is None or stream_cache.instructions < spec.instructions:
+        stream_cache = StreamCache(spec.instructions)
+    image = stream_cache.image(spec.benchmark, spec.workload_seed)
+    stream = stream_cache.stream(spec.benchmark, spec.workload_seed)
+
+    if spec.kind == "frontend":
+        result = run_frontend(image, spec.frontend_config(),
+                              spec.instructions, stream=stream)
+        metrics = _frontend_metrics(result.stats)
+    elif spec.kind == "processor":
+        result = run_processor(image, spec.processor_config(),
+                               spec.instructions, stream=stream)
+        metrics = _processor_metrics(result.stats)
+    else:  # dynamic
+        result, events = run_dynamic_frontend(
+            image, spec.frontend_config(), stream[:spec.instructions])
+        metrics = {
+            "trace_misses_per_ki": result.stats.trace_miss_rate_per_ki,
+            "pb_trajectory": [event.pb_entries for event in events],
+            "epoch_miss_rates": [event.epoch_miss_rate for event in events],
+        }
+    return RunResult(spec=spec, metrics=metrics,
+                     wall_seconds=time.perf_counter() - started)
+
+
+def run_point(spec: ExperimentSpec, *,
+              stream_cache: Optional[StreamCache] = None,
+              cache: Optional[ResultCache] = None) -> RunResult:
+    """Run (or cache-serve) one simulation point."""
+    if cache is not None:
+        hit = cache.get(spec)
+        if hit is not None:
+            return hit
+    result = execute_spec(spec, stream_cache)
+    if cache is not None:
+        cache.put(spec, result)
+    return result
+
+
+def _run_group(specs: tuple[ExperimentSpec, ...]) -> list[RunResult]:
+    """Worker entry point: one benchmark group, one stream generation."""
+    stream_cache = StreamCache(max(spec.instructions for spec in specs))
+    return [execute_spec(spec, stream_cache) for spec in specs]
+
+
+# ----------------------------------------------------------------------
+# Timing report
+# ----------------------------------------------------------------------
+@dataclass
+class TimingReport:
+    """Cumulative accounting for one runner's lifetime."""
+
+    jobs: int = 1
+    requested: int = 0      # specs requested, duplicates included
+    unique: int = 0         # distinct specs after dedup
+    executed: int = 0       # simulations actually run
+    cache_hits: int = 0     # specs served from the result cache
+    wall_seconds: float = 0.0
+    points: list[dict[str, Any]] = field(default_factory=list)
+
+    def record(self, result: RunResult) -> None:
+        self.points.append({"spec": result.spec.label,
+                            "kind": result.spec.kind,
+                            "wall_seconds": result.wall_seconds,
+                            "cached": result.cached})
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"jobs": self.jobs, "requested": self.requested,
+                "unique": self.unique, "executed": self.executed,
+                "cache_hits": self.cache_hits,
+                "wall_seconds": self.wall_seconds, "points": self.points}
+
+    def to_json(self) -> str:
+        import json
+
+        return json.dumps(self.to_dict(), indent=2)
+
+    def summary(self) -> str:
+        return (f"{self.requested} points ({self.unique} unique): "
+                f"{self.executed} executed, {self.cache_hits} cache hits, "
+                f"jobs={self.jobs}, {self.wall_seconds:.2f}s")
+
+
+# ----------------------------------------------------------------------
+# The scheduler
+# ----------------------------------------------------------------------
+def stderr_progress(message: str) -> None:
+    """Default progress sink: one line per event on stderr."""
+    print(message, file=sys.stderr, flush=True)
+
+
+class ExperimentRunner:
+    """Schedules :class:`ExperimentSpec` batches across processes.
+
+    One runner may be reused across several batches (``repro all`` runs
+    one batch per exhibit set); its :class:`TimingReport` accumulates.
+    """
+
+    def __init__(self, jobs: int = 1,
+                 cache: Optional[ResultCache] = None,
+                 stream_cache: Optional[StreamCache] = None,
+                 progress: Optional[Progress] = None) -> None:
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        self.jobs = jobs
+        self.cache = cache
+        self.stream_cache = stream_cache
+        self.progress = progress
+        self.report = TimingReport(jobs=jobs)
+
+    # ------------------------------------------------------------------
+    def run(self, specs: Sequence[ExperimentSpec]) -> list[RunResult]:
+        """Run ``specs``; results come back in spec order.
+
+        Duplicate specs are computed once and share one result object.
+        """
+        started = time.perf_counter()
+        unique = list(dict.fromkeys(specs))
+        results: dict[ExperimentSpec, RunResult] = {}
+
+        if self.cache is not None:
+            for spec in unique:
+                hit = self.cache.get(spec)
+                if hit is not None:
+                    results[spec] = hit
+        hits = len(results)
+        missing = [spec for spec in unique if spec not in results]
+
+        groups = self._group(missing)
+        if hits and self.progress:
+            self.progress(f"cache: {hits} hits, {len(missing)} to run "
+                          f"in {len(groups)} benchmark groups")
+        if len(groups) > 1 and self.jobs > 1:
+            executed = self._run_parallel(groups)
+        else:
+            executed = self._run_inline(groups)
+        for result in executed:
+            results[result.spec] = result
+            if self.cache is not None:
+                self.cache.put(result.spec, result)
+
+        self.report.requested += len(specs)
+        self.report.unique += len(unique)
+        self.report.executed += len(executed)
+        self.report.cache_hits += hits
+        self.report.wall_seconds += time.perf_counter() - started
+        for spec in unique:
+            self.report.record(results[spec])
+        return [results[spec] for spec in specs]
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _group(specs: Iterable[ExperimentSpec]
+               ) -> list[tuple[ExperimentSpec, ...]]:
+        """Deterministic benchmark groups, preserving spec order."""
+        grouped: dict[tuple, list[ExperimentSpec]] = {}
+        for spec in specs:
+            key = (spec.benchmark, spec.workload_seed, spec.instructions)
+            grouped.setdefault(key, []).append(spec)
+        return [tuple(group) for group in grouped.values()]
+
+    def _run_inline(self, groups: list[tuple[ExperimentSpec, ...]]
+                    ) -> list[RunResult]:
+        executed: list[RunResult] = []
+        for index, group in enumerate(groups, start=1):
+            group_started = time.perf_counter()
+            budget = max(spec.instructions for spec in group)
+            stream_cache = self.stream_cache
+            if stream_cache is None or stream_cache.instructions < budget:
+                stream_cache = StreamCache(budget)
+            for spec in group:
+                executed.append(execute_spec(spec, stream_cache))
+            self._announce(index, len(groups), group,
+                           time.perf_counter() - group_started)
+        return executed
+
+    def _run_parallel(self, groups: list[tuple[ExperimentSpec, ...]]
+                      ) -> list[RunResult]:
+        executed: list[RunResult] = []
+        workers = min(self.jobs, len(groups))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {pool.submit(_run_group, group): group
+                       for group in groups}
+            done = 0
+            for future in as_completed(futures):
+                group = futures[future]
+                results = future.result()
+                executed.extend(results)
+                done += 1
+                self._announce(done, len(groups), group,
+                               sum(r.wall_seconds for r in results))
+        return executed
+
+    def _announce(self, done: int, total: int,
+                  group: tuple[ExperimentSpec, ...],
+                  seconds: float) -> None:
+        if self.progress and group:
+            self.progress(f"[{done}/{total}] {group[0].benchmark}: "
+                          f"{len(group)} points in {seconds:.2f}s")
+
+
+def sweep(specs: Sequence[ExperimentSpec], *, jobs: int = 1,
+          cache: Optional[ResultCache] = None,
+          stream_cache: Optional[StreamCache] = None,
+          progress: Optional[Progress] = None) -> list[RunResult]:
+    """One-shot convenience wrapper around :class:`ExperimentRunner`."""
+    runner = ExperimentRunner(jobs=jobs, cache=cache,
+                              stream_cache=stream_cache, progress=progress)
+    return runner.run(list(specs))

@@ -1,0 +1,205 @@
+"""Experiment descriptions: the single currency for a simulation point.
+
+An :class:`ExperimentSpec` captures *everything* that determines a
+simulation result — benchmark, trace-cache/preconstruction-buffer
+sizes, static seeding, preprocessing, the simulation kind, instruction
+budget and workload seed.  Because the dataclass is frozen and all its
+fields are plain scalars, a spec is hashable (deduplicatable), picklable
+(shippable to worker processes), and digestible (content-addressable in
+the on-disk result cache).
+
+A :class:`RunResult` is the envelope that comes back: the spec it
+answers, a flat JSON-serialisable metrics mapping, the execution wall
+time, and whether the result was served from cache.
+
+Instruction budget resolution
+-----------------------------
+Historically the CLI ``--instructions`` flag and the
+``REPRO_INSTRUCTIONS`` environment variable competed (the flag's
+baked-in default silently shadowed the env var).  The single documented
+precedence order, implemented by :func:`resolve_instructions`:
+
+1. an **explicit value** (CLI flag, API argument, spec field) wins;
+2. otherwise the ``REPRO_INSTRUCTIONS`` environment variable;
+3. otherwise the built-in default, :data:`DEFAULT_INSTRUCTIONS`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import asdict, dataclass, replace
+from typing import Any, Mapping, Optional
+
+from repro.core import PreconstructionConfig
+from repro.preprocess import PreprocessConfig
+from repro.processor import BackendConfig, ProcessorConfig
+from repro.sim import FrontendConfig
+from repro.trace import TraceCacheConfig
+
+#: Bump when spec semantics or recorded metrics change incompatibly;
+#: every cached result keyed under an older schema is ignored.
+SPEC_SCHEMA_VERSION = 1
+
+#: Built-in per-run instruction budget (the harness scale documented in
+#: EXPERIMENTS.md: the paper's 200M-instruction runs scaled down
+#: alongside the ~30x smaller code footprints).
+DEFAULT_INSTRUCTIONS = 60_000
+
+#: Simulation kinds a spec can describe.
+KINDS = ("frontend", "processor", "dynamic")
+
+
+def resolve_instructions(explicit: Optional[int] = None) -> int:
+    """Resolve the per-run instruction budget.
+
+    Precedence (highest first): ``explicit`` argument, the
+    ``REPRO_INSTRUCTIONS`` environment variable, then
+    :data:`DEFAULT_INSTRUCTIONS`.
+    """
+    if explicit is None:
+        explicit = int(os.environ.get("REPRO_INSTRUCTIONS",
+                                      DEFAULT_INSTRUCTIONS))
+    if explicit <= 0:
+        raise ValueError("instruction budget must be positive")
+    return explicit
+
+
+def build_frontend_config(tc_entries: int, pb_entries: int = 0,
+                          static_seed: bool = False) -> FrontendConfig:
+    """Standard frontend configuration for a TC/PB size point."""
+    precon = (PreconstructionConfig(buffer_entries=pb_entries)
+              if pb_entries else None)
+    return FrontendConfig(trace_cache=TraceCacheConfig(entries=tc_entries),
+                          preconstruction=precon,
+                          static_seed=static_seed)
+
+
+def build_processor_config(tc_entries: int, pb_entries: int = 0,
+                           preprocess: bool = False) -> ProcessorConfig:
+    """Standard full-processor configuration (Figures 6/8)."""
+    return ProcessorConfig(
+        frontend=build_frontend_config(tc_entries, pb_entries),
+        backend=BackendConfig(),
+        preprocess=PreprocessConfig() if preprocess else None)
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """A frozen, hashable description of one simulation point.
+
+    ``kind`` selects the simulator: ``"frontend"`` (Figure 5 /
+    Tables 1-3 metrics), ``"processor"`` (the full timing model behind
+    Figures 6/8; honours ``preprocess``), or ``"dynamic"`` (the
+    adaptive trace-storage partitioning extension).
+
+    ``instructions`` left as ``None`` is resolved eagerly at
+    construction via :func:`resolve_instructions`, so a spec always
+    carries a concrete budget and its digest never depends on ambient
+    state afterwards.  ``workload_seed`` of ``None`` keeps the
+    benchmark profile's own seed.
+    """
+
+    benchmark: str
+    tc_entries: int = 256
+    pb_entries: int = 0
+    static_seed: bool = False
+    preprocess: bool = False
+    kind: str = "frontend"
+    instructions: Optional[int] = None
+    workload_seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ValueError(f"unknown spec kind {self.kind!r}; "
+                             f"choose from {KINDS}")
+        if not self.benchmark:
+            raise ValueError("benchmark must be a non-empty name")
+        if self.tc_entries <= 0:
+            raise ValueError("tc_entries must be positive")
+        if self.pb_entries < 0:
+            raise ValueError("pb_entries must be non-negative")
+        if self.preprocess and self.kind != "processor":
+            raise ValueError("preprocess requires kind='processor'")
+        object.__setattr__(self, "instructions",
+                           resolve_instructions(self.instructions))
+
+    # ------------------------------------------------------------------
+    # Derived configurations
+    # ------------------------------------------------------------------
+    def frontend_config(self) -> FrontendConfig:
+        """The :class:`FrontendConfig` this spec describes."""
+        return build_frontend_config(self.tc_entries, self.pb_entries,
+                                     static_seed=self.static_seed)
+
+    def processor_config(self) -> ProcessorConfig:
+        """The :class:`ProcessorConfig` this spec describes."""
+        return build_processor_config(self.tc_entries, self.pb_entries,
+                                      preprocess=self.preprocess)
+
+    # ------------------------------------------------------------------
+    # Identity
+    # ------------------------------------------------------------------
+    def replace(self, **changes: Any) -> "ExperimentSpec":
+        """A copy with ``changes`` applied (``dataclasses.replace``)."""
+        return replace(self, **changes)
+
+    def to_dict(self) -> dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "ExperimentSpec":
+        return cls(**dict(payload))
+
+    def digest(self, schema_version: int = SPEC_SCHEMA_VERSION) -> str:
+        """Content address of this spec under ``schema_version``.
+
+        Any field change — and any schema-version bump — yields a new
+        digest, which is what invalidates stale cache entries.
+        """
+        payload = {"schema": schema_version, **self.to_dict()}
+        canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+    @property
+    def label(self) -> str:
+        """Short human-readable identity for progress/timing lines."""
+        parts = [self.benchmark, f"tc={self.tc_entries}"]
+        if self.pb_entries:
+            parts.append(f"pb={self.pb_entries}")
+        if self.static_seed:
+            parts.append("static-seed")
+        if self.preprocess:
+            parts.append("preprocess")
+        if self.kind != "frontend":
+            parts.append(self.kind)
+        return " ".join(parts)
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """One simulation point's answer.
+
+    ``metrics`` holds only JSON-serialisable values (numbers, plus
+    lists for the dynamic-partition trajectory), so a result round-trips
+    through the on-disk cache bit-exactly: ``json`` preserves ints and
+    emits shortest round-trip reprs for floats.
+    """
+
+    spec: ExperimentSpec
+    metrics: dict[str, Any]
+    wall_seconds: float = 0.0
+    cached: bool = False
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"spec": self.spec.to_dict(), "metrics": dict(self.metrics),
+                "wall_seconds": self.wall_seconds}
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any], *,
+                  cached: bool = False) -> "RunResult":
+        return cls(spec=ExperimentSpec.from_dict(payload["spec"]),
+                   metrics=dict(payload["metrics"]),
+                   wall_seconds=float(payload.get("wall_seconds", 0.0)),
+                   cached=cached)

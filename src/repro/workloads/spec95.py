@@ -26,6 +26,8 @@ trace-cache capacity in the paper's regime.
 
 from __future__ import annotations
 
+from dataclasses import replace
+
 from repro.workloads.generator import GeneratedWorkload, generate
 from repro.workloads.profiles import WorkloadProfile
 
@@ -110,12 +112,19 @@ SPEC95_NAMES = tuple(SPEC95_PROFILES)
 LARGE_WORKING_SET = ("gcc", "go", "vortex")
 
 
-def build_workload(name: str) -> GeneratedWorkload:
-    """Generate the named SPECint95 stand-in (deterministic per name)."""
+def build_workload(name: str, seed: int | None = None) -> GeneratedWorkload:
+    """Generate the named SPECint95 stand-in (deterministic per name).
+
+    ``seed`` overrides the profile's own seed, producing a structurally
+    equivalent but differently-shuffled instance of the benchmark —
+    the knob behind :class:`repro.runner.ExperimentSpec.workload_seed`.
+    """
     try:
         profile = SPEC95_PROFILES[name]
     except KeyError:
         raise ValueError(
             f"unknown benchmark {name!r}; choose from {SPEC95_NAMES}"
         ) from None
+    if seed is not None:
+        profile = replace(profile, seed=seed)
     return generate(profile)

@@ -1,0 +1,18 @@
+"""Shared test fixtures: keep every test hermetic.
+
+The CLI's exhibit commands read and write the content-addressed result
+cache by default; pointing ``REPRO_CACHE_DIR`` at a per-test temp
+directory keeps runs from touching (or being poisoned by) the user's
+real ``~/.cache/repro``.  ``REPRO_INSTRUCTIONS`` is cleared so an
+ambient budget override can't skew tests that rely on defaults.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _isolated_environment(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "result-cache"))
+    monkeypatch.delenv("REPRO_INSTRUCTIONS", raising=False)

@@ -20,6 +20,7 @@ from repro.analysis import (
 )
 from repro.analysis.figures import ExtendedPipelineResult, SpeedupResult
 from repro.analysis.tables import TableRow, TablesResult
+from repro.runner import ExperimentSpec
 
 
 @pytest.fixture(scope="module")
@@ -38,17 +39,53 @@ class TestStreamCache:
     def test_images_are_memoised(self, cache):
         assert cache.image("compress") is cache.image("compress")
 
+    def test_workload_seed_is_part_of_the_key(self, cache):
+        assert cache.image("compress") is not cache.image("compress", 7)
+
 
 class TestSweepRunners:
     def test_frontend_point(self, cache):
-        stats = run_frontend_point(cache, "compress", 64)
+        spec = ExperimentSpec(benchmark="compress", tc_entries=64,
+                              instructions=8_000)
+        stats = run_frontend_point(cache, spec)
         assert stats.instructions == 8_000
         assert stats.traces > 0
 
     def test_processor_point(self, cache):
-        stats = run_processor_point(cache, "compress", 64)
+        spec = ExperimentSpec(benchmark="compress", tc_entries=64,
+                              kind="processor", instructions=8_000)
+        stats = run_processor_point(cache, spec)
         assert stats.cycles > 0
         assert stats.ipc > 0
+
+    def test_loose_kwargs_deprecated_but_equivalent(self, cache):
+        spec = ExperimentSpec(benchmark="compress", tc_entries=64,
+                              pb_entries=32, instructions=8_000)
+        fresh = run_frontend_point(cache, spec)
+        with pytest.warns(DeprecationWarning, match="ExperimentSpec"):
+            legacy = run_frontend_point(cache, "compress", 64, 32)
+        assert legacy.summary() == fresh.summary()
+
+    def test_frontend_config_deprecated_but_equivalent(self):
+        from repro.analysis import frontend_config
+
+        spec = ExperimentSpec(benchmark="compress", tc_entries=128,
+                              pb_entries=64, instructions=1)
+        assert frontend_config(spec) == spec.frontend_config()
+        with pytest.warns(DeprecationWarning, match="ExperimentSpec"):
+            legacy = frontend_config(128, 64)
+        assert legacy == spec.frontend_config()
+
+    def test_processor_config_deprecated_but_equivalent(self):
+        from repro.analysis import processor_config
+
+        spec = ExperimentSpec(benchmark="compress", tc_entries=128,
+                              preprocess=True, kind="processor",
+                              instructions=1)
+        assert processor_config(spec) == spec.processor_config()
+        with pytest.warns(DeprecationWarning, match="ExperimentSpec"):
+            legacy = processor_config(128, 0, preprocess=True)
+        assert legacy == spec.processor_config()
 
     def test_figure5_sweep_grid(self, cache):
         points = figure5_sweep(cache, "compress", tc_sizes=(64, 128),

@@ -55,3 +55,82 @@ class TestCLI:
         assert main(["--instructions", "4000", "point", "compress",
                      "--tc", "64", "--pb", "32", "--static-seed"]) == 0
         assert "buffer_hits" in capsys.readouterr().out
+
+    def test_instructions_env_fallback(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_INSTRUCTIONS", "4000")
+        assert main(["point", "compress", "--tc", "64"]) == 0
+        out = capsys.readouterr().out
+        assert "4000.000" in out
+
+    def test_instructions_flag_beats_env(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_INSTRUCTIONS", "9999999")
+        assert main(["--instructions", "4000", "point", "compress",
+                     "--tc", "64"]) == 0
+        assert "4000.000" in capsys.readouterr().out
+
+
+ALL_ARGS = ["--instructions", "4000", "all", "--benchmarks", "compress",
+            "--jobs", "2"]
+
+
+class TestRunnerCLI:
+    def test_figure5_jobs_matches_serial(self, capsys):
+        assert main(["--instructions", "4000", "--no-cache", "figure5",
+                     "--benchmarks", "compress"]) == 0
+        serial = capsys.readouterr().out
+        assert main(["--instructions", "4000", "--no-cache", "figure5",
+                     "--benchmarks", "compress", "--jobs", "2"]) == 0
+        assert capsys.readouterr().out == serial
+
+    def test_all_warm_rerun_is_identical_and_runs_nothing(
+            self, capsys, tmp_path):
+        report = tmp_path / "timing.json"
+        args = ALL_ARGS + ["--timing-report", str(report)]
+        assert main(args) == 0
+        cold = capsys.readouterr().out
+        assert "Figure 5" in cold and "Table 1" in cold
+        assert "Figure 6" in cold and "Figure 8" in cold
+
+        import json
+
+        cold_report = json.loads(report.read_text())
+        assert cold_report["executed"] > 0
+
+        assert main(args) == 0
+        warm = capsys.readouterr().out
+        assert warm == cold
+        warm_report = json.loads(report.read_text())
+        assert warm_report["executed"] == 0
+        assert warm_report["cache_hits"] == warm_report["unique"]
+
+    def test_all_no_cache_matches_cached(self, capsys):
+        assert main(ALL_ARGS) == 0
+        cached = capsys.readouterr().out
+        assert main(["--instructions", "4000", "--no-cache", "all",
+                     "--benchmarks", "compress"]) == 0
+        assert capsys.readouterr().out == cached
+
+    def test_all_matches_individual_commands(self, capsys):
+        assert main(["--instructions", "4000", "--no-cache", "tables",
+                     "--benchmarks", "compress"]) == 0
+        tables = capsys.readouterr().out
+        assert main(ALL_ARGS) == 0
+        assert tables.strip() in capsys.readouterr().out
+
+    def test_cache_dir_flag(self, capsys, tmp_path):
+        custom = tmp_path / "elsewhere"
+        assert main(["--instructions", "4000", "--cache-dir", str(custom),
+                     "tables", "--benchmarks", "compress"]) == 0
+        capsys.readouterr()
+        assert any(custom.rglob("*.json"))
+
+    def test_cache_command(self, capsys, tmp_path):
+        assert main(ALL_ARGS) == 0
+        capsys.readouterr()
+        assert main(["cache"]) == 0
+        out = capsys.readouterr().out
+        assert "entries" in out
+        assert main(["cache", "--clear"]) == 0
+        assert "removed" in capsys.readouterr().out
+        assert main(["cache"]) == 0
+        assert "entries:    0" in capsys.readouterr().out

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.analysis import frontend_config
+from repro.runner import build_frontend_config
 from repro.engine import FunctionalEngine
 from repro.sim import (
     DynamicPartitionConfig,
@@ -24,7 +24,7 @@ class TestDynamicPartition:
     def test_requires_preconstruction(self, gcc):
         image, _ = gcc
         with pytest.raises(ValueError):
-            DynamicPartitionFrontend(image, frontend_config(512, 0))
+            DynamicPartitionFrontend(image, build_frontend_config(512, 0))
 
     def test_config_validation(self):
         with pytest.raises(ValueError):
@@ -37,7 +37,7 @@ class TestDynamicPartition:
     def test_partition_conserves_total(self, gcc):
         image, stream = gcc
         partition = DynamicPartitionConfig(epoch_traces=300)
-        sim = DynamicPartitionFrontend(image, frontend_config(384, 128),
+        sim = DynamicPartitionFrontend(image, build_frontend_config(384, 128),
                                        partition)
         sim.run(stream)
         assert (sim.trace_cache.config.entries + sim.pb_entries
@@ -47,7 +47,7 @@ class TestDynamicPartition:
         image, stream = gcc
         partition = DynamicPartitionConfig(
             epoch_traces=200, min_pb_entries=64, max_pb_entries=192)
-        sim = DynamicPartitionFrontend(image, frontend_config(384, 128),
+        sim = DynamicPartitionFrontend(image, build_frontend_config(384, 128),
                                        partition)
         sim.run(stream)
         for event in sim.events:
@@ -56,7 +56,7 @@ class TestDynamicPartition:
     def test_migration_preserves_traces(self, gcc):
         """Repartitioning keeps resident traces (up to new capacity)."""
         image, stream = gcc
-        sim = DynamicPartitionFrontend(image, frontend_config(384, 128),
+        sim = DynamicPartitionFrontend(image, build_frontend_config(384, 128),
                                        DynamicPartitionConfig())
         # Warm up, then force a repartition and compare occupancy.
         for record in stream[:8000]:
@@ -72,7 +72,7 @@ class TestDynamicPartition:
     def test_events_recorded(self, gcc):
         image, stream = gcc
         _, events = run_dynamic_frontend(
-            image, frontend_config(384, 128), stream,
+            image, build_frontend_config(384, 128), stream,
             DynamicPartitionConfig(epoch_traces=300))
         assert events
         assert all(event.epoch_miss_rate >= 0 for event in events)
@@ -80,7 +80,7 @@ class TestDynamicPartition:
 
     def test_runs_match_normal_accounting(self, gcc):
         image, stream = gcc
-        result, _ = run_dynamic_frontend(image, frontend_config(384, 128),
+        result, _ = run_dynamic_frontend(image, build_frontend_config(384, 128),
                                          stream)
         stats = result.stats
         assert stats.instructions == len(stream)

@@ -9,6 +9,7 @@ qualitative results hold.
 import pytest
 
 from repro.analysis import StreamCache, run_frontend_point, run_processor_point
+from repro.runner import ExperimentSpec
 
 INSTRUCTIONS = 40_000
 
@@ -18,6 +19,19 @@ def cache():
     return StreamCache(instructions=INSTRUCTIONS)
 
 
+def frontend(cache, benchmark, tc, pb=0):
+    spec = ExperimentSpec(benchmark=benchmark, tc_entries=tc, pb_entries=pb,
+                          instructions=INSTRUCTIONS)
+    return run_frontend_point(cache, spec)
+
+
+def processor(cache, benchmark, tc, pb=0, preprocess=False):
+    spec = ExperimentSpec(benchmark=benchmark, tc_entries=tc, pb_entries=pb,
+                          preprocess=preprocess, kind="processor",
+                          instructions=INSTRUCTIONS)
+    return run_processor_point(cache, spec)
+
+
 class TestHeadlineClaims:
     def test_preconstruction_reduces_misses_large_benchmarks(self, cache):
         """Abstract: 'The three benchmarks that have the largest working
@@ -25,8 +39,8 @@ class TestHeadlineClaims:
         cache misses.'  We assert a >=20% reduction at the same TC size
         with the largest PB (shape, not exact magnitude)."""
         for name in ("gcc", "go", "vortex"):
-            base = run_frontend_point(cache, name, 256)
-            pre = run_frontend_point(cache, name, 256, 256)
+            base = frontend(cache, name, 256)
+            pre = frontend(cache, name, 256, 256)
             reduction = 1 - (pre.trace_misses / base.trace_misses)
             assert reduction >= 0.20, (name, reduction)
 
@@ -37,7 +51,7 @@ class TestHeadlineClaims:
         # compulsory misses per KI; at the standard budget these sit
         # near 1-2 misses/KI (vs ~12+ for the stressed benchmarks).
         for name in ("compress", "ijpeg"):
-            base = run_frontend_point(cache, name, 256)
+            base = frontend(cache, name, 256)
             assert base.trace_miss_rate_per_ki < 5.0, name
 
     def test_equal_area_preconstruction_wins_for_stressed(self, cache):
@@ -45,17 +59,17 @@ class TestHeadlineClaims:
         significant than allocating comparable area to the trace
         cache' — at least one split beats the TC-only configuration."""
         for name in ("gcc", "vortex"):
-            tc_only = run_frontend_point(cache, name, 512)
-            split_small = run_frontend_point(cache, name, 384, 128)
-            split_even = run_frontend_point(cache, name, 256, 256)
+            tc_only = frontend(cache, name, 512)
+            split_small = frontend(cache, name, 384, 128)
+            split_even = frontend(cache, name, 256, 256)
             best = min(split_small.trace_misses, split_even.trace_misses)
             assert best < tc_only.trace_misses, name
 
     def test_icache_prefetch_side_effect(self, cache):
         """Table 3: preconstruction prefetches lines the slow path
         later uses, cutting its miss-supplied instructions."""
-        base = run_frontend_point(cache, "go", 512)
-        pre = run_frontend_point(cache, "go", 256, 256)
+        base = frontend(cache, "go", 512)
+        pre = frontend(cache, "go", 256, 256)
         assert (pre.icache_miss_instructions_per_ki
                 < base.icache_miss_instructions_per_ki)
 
@@ -63,16 +77,16 @@ class TestHeadlineClaims:
         """§6: frontend (preconstruction) and backend (preprocessing)
         mechanisms address different bottlenecks and combine."""
         name = "vortex"
-        base = run_processor_point(cache, name, 256)
-        pre = run_processor_point(cache, name, 128, 128)
-        prep = run_processor_point(cache, name, 256, preprocess=True)
-        both = run_processor_point(cache, name, 128, 128, preprocess=True)
+        base = processor(cache, name, 256)
+        pre = processor(cache, name, 128, 128)
+        prep = processor(cache, name, 256, preprocess=True)
+        both = processor(cache, name, 128, 128, preprocess=True)
         assert pre.cycles < base.cycles
         assert prep.cycles < base.cycles
         assert both.cycles < prep.cycles
         assert both.cycles < pre.cycles
 
     def test_run_to_run_determinism(self, cache):
-        first = run_frontend_point(cache, "gcc", 256, 256).summary()
-        second = run_frontend_point(cache, "gcc", 256, 256).summary()
+        first = frontend(cache, "gcc", 256, 256).summary()
+        second = frontend(cache, "gcc", 256, 256).summary()
         assert first == second

@@ -9,6 +9,7 @@ from repro.analysis.results import (
     record_frontend_stats,
     record_processor_stats,
 )
+from repro.runner import ExperimentSpec
 
 
 @pytest.fixture(scope="module")
@@ -18,14 +19,18 @@ def cache():
 
 class TestRecords:
     def test_frontend_record(self, cache):
-        stats = run_frontend_point(cache, "compress", 64, 32)
+        spec = ExperimentSpec(benchmark="compress", tc_entries=64,
+                              pb_entries=32, instructions=6_000)
+        stats = run_frontend_point(cache, spec)
         record = record_frontend_stats("figure5", "compress", 64, 32, stats)
         assert record.config == {"tc_entries": 64, "pb_entries": 32}
         assert record.metrics["trace_misses_per_ki"] >= 0
         assert record.instructions == 6_000
 
     def test_processor_record(self, cache):
-        stats = run_processor_point(cache, "compress", 64)
+        spec = ExperimentSpec(benchmark="compress", tc_entries=64,
+                              kind="processor", instructions=6_000)
+        stats = run_processor_point(cache, spec)
         record = record_processor_stats("figure6", "compress", 64, 0,
                                         False, stats)
         assert record.metrics["ipc"] > 0
