@@ -1,0 +1,34 @@
+"""Hot-path wall-clock benchmark: the seeded speedup trajectory.
+
+Unlike the exhibit benchmarks (which reproduce a figure or table and
+time themselves incidentally), this one exists purely to measure the
+simulator's hot path: it cold-runs the ``repro bench --quick``
+workload — the gcc+go Figure-5 panel, no result cache, fresh stream
+cache — and checks the measured time against the pinned pre-overhaul
+baseline recorded in :mod:`repro.runner.bench`.
+
+The speedup assertion is deliberately loose (half the CLI's 2x
+acceptance bar) because pytest-benchmark machines vary; the precise
+gate lives in ``repro bench`` + ``BENCH_hotpath.json``.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+from repro.runner.bench import BASELINE_SECONDS, format_bench, run_bench
+
+
+def test_hotpath_quick(benchmark):
+    """Cold quick-mode bench run, timed end to end."""
+    payload = run_once(benchmark, run_bench, quick=True)
+    print()
+    print(format_bench(payload))
+
+    section = payload["sections"]["figure5"]
+    assert section["specs"] == 40
+    assert section["baseline_seconds"] == BASELINE_SECONDS[
+        ("quick", "figure5")]
+    # The overhaul bought >=2x on the baseline machine; allow generous
+    # headroom for slower CI hosts while still catching a regression
+    # back to the pre-overhaul hot path.
+    assert section["speedup"] >= 1.0

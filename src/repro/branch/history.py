@@ -38,19 +38,29 @@ class PathHistory:
             raise ValueError("depth must be positive")
         self.depth = depth
         self._ids: deque[Hashable] = deque(initial, maxlen=depth)
+        # Fold results per requested length, cleared whenever the
+        # history changes: the predictor hashes the same state several
+        # times per trace (predict + update, two tables each).
+        self._fold_memo: dict[int | None, int] = {}
 
     def append(self, trace_id: Hashable) -> None:
         self._ids.append(trace_id)
+        self._fold_memo.clear()
 
     def ids(self) -> tuple[Hashable, ...]:
         return tuple(self._ids)
 
     def hash(self, length: int | None = None) -> int:
         """Hash of the last ``length`` ids (default: full depth)."""
-        ids = self.ids()
-        if length is not None:
-            ids = ids[-length:]
-        return fold_ids(ids)
+        memo = self._fold_memo
+        folded = memo.get(length)
+        if folded is None:
+            ids = self.ids()
+            if length is not None:
+                ids = ids[-length:]
+            folded = fold_ids(ids)
+            memo[length] = folded
+        return folded
 
     def snapshot(self) -> tuple[Hashable, ...]:
         """State capture for the Return History Stack."""
@@ -58,6 +68,7 @@ class PathHistory:
 
     def restore(self, snapshot: tuple[Hashable, ...]) -> None:
         self._ids = deque(snapshot, maxlen=self.depth)
+        self._fold_memo.clear()
 
     def clear(self) -> None:
         self._ids.clear()

@@ -17,11 +17,12 @@ from repro.caches.replacement import (
     ReplacementPolicy,
     make_policy,
 )
-from repro.caches.setassoc import CacheStats, SetAssociativeCache
+from repro.caches.setassoc import CacheStats, SetAssociativeCache, stable_index
 
 __all__ = [
     "DataCache", "DCacheConfig", "DCacheStats",
     "FetchTraffic", "ICacheConfig", "InstructionCache", "PerfectL2",
     "PrefetchCache", "FIFO", "LRU", "POLICIES", "RandomReplacement",
     "ReplacementPolicy", "make_policy", "CacheStats", "SetAssociativeCache",
+    "stable_index",
 ]

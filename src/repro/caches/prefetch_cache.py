@@ -32,7 +32,8 @@ class PrefetchCache:
         return pc - (pc % self.line_bytes)
 
     def contains(self, pc: int) -> bool:
-        return self.line_address(pc) in self._lines
+        # line_address() inlined: probed once per constructor step.
+        return pc - (pc % self.line_bytes) in self._lines
 
     @property
     def full(self) -> bool:
@@ -50,12 +51,13 @@ class PrefetchCache:
         absent — the signal that the region has hit its fetch bound.
         Adding an already-present line always succeeds (no growth).
         """
-        line = self.line_address(pc)
-        if line in self._lines:
+        line = pc - (pc % self.line_bytes)
+        lines = self._lines
+        if line in lines:
             return True
-        if self.full:
+        if len(lines) >= self.capacity_lines:
             return False
-        self._lines.add(line)
+        lines.add(line)
         return True
 
     def reset(self) -> None:

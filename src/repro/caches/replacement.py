@@ -33,6 +33,16 @@ class ReplacementPolicy(abc.ABC):
     def victim(self, set_index: int) -> int:
         """Nominate the way to evict from a full ``set_index``."""
 
+    def on_invalidate(self, set_index: int, way: int) -> None:
+        """``way`` of ``set_index`` was invalidated.
+
+        Recency-tracking policies demote the way to most-eligible-victim
+        so an invalidated slot is reclaimed before any live line.
+        Without this hook an invalidated way keeps its (stale) recency
+        and a later victim choice can evict a live line while the set
+        still holds dead state.  Default: no ordering state to fix.
+        """
+
 
 class LRU(ReplacementPolicy):
     """Least-recently-used, the paper's policy for the trace cache."""
@@ -53,6 +63,15 @@ class LRU(ReplacementPolicy):
     def victim(self, set_index: int) -> int:
         return self._order[set_index][-1]
 
+    def on_invalidate(self, set_index: int, way: int) -> None:
+        order = self._order[set_index]
+        order.remove(way)
+        order.append(way)  # least-recent: next victim
+
+    def recency_order(self, set_index: int) -> tuple[int, ...]:
+        """Ways of ``set_index``, most-recent first (for tests)."""
+        return tuple(self._order[set_index])
+
 
 class FIFO(ReplacementPolicy):
     """First-in-first-out (ablation alternative)."""
@@ -71,6 +90,11 @@ class FIFO(ReplacementPolicy):
 
     def victim(self, set_index: int) -> int:
         return self._queue[set_index][-1]
+
+    def on_invalidate(self, set_index: int, way: int) -> None:
+        queue = self._queue[set_index]
+        queue.remove(way)
+        queue.append(way)  # oldest: next victim
 
 
 class RandomReplacement(ReplacementPolicy):

@@ -11,6 +11,7 @@ Usage::
     python -m repro figure8 [--jobs N] [--benchmarks ...]
     python -m repro dynamic --benchmarks gcc go
     python -m repro all --jobs 4 [--timing-report timing.json]
+    python -m repro bench [--quick] [--output BENCH_hotpath.json]
     python -m repro cache [--clear]
 
 Every exhibit command routes through :mod:`repro.runner`: points are
@@ -123,6 +124,19 @@ def _parser() -> argparse.ArgumentParser:
                              "(intersected with each exhibit's default set)")
     allcmd.add_argument("--timing-report", default=None, metavar="PATH",
                         help="write the scheduler timing report as JSON")
+
+    bench = sub.add_parser(
+        "bench", help="time the hot path cold against the seeded baseline")
+    bench.add_argument("--quick", action="store_true",
+                       help="gcc+go Figure-5 panel at 20k instructions "
+                            "(the CI configuration)")
+    bench.add_argument("--jobs", type=int, default=1,
+                       help="worker processes (speedup vs baseline is "
+                            "only meaningful at jobs=1)")
+    bench.add_argument("--output", default="BENCH_hotpath.json",
+                       metavar="PATH",
+                       help="where to write the JSON report "
+                            "(default: BENCH_hotpath.json)")
 
     cachecmd = sub.add_parser("cache", help="inspect the result cache")
     cachecmd.add_argument("--clear", action="store_true",
@@ -295,6 +309,16 @@ def main(argv: Sequence[str] | None = None) -> int:
             print(f"cache root: {cache.root}")
             print(f"entries:    {len(entries)}")
             print(f"bytes:      {total}")
+        return 0
+
+    if args.command == "bench":
+        from repro.runner import format_bench, run_bench, write_bench_report
+
+        payload = run_bench(quick=args.quick, jobs=args.jobs,
+                            progress=stderr_progress)
+        path = write_bench_report(payload, args.output)
+        print(format_bench(payload))
+        print(f"report written to {path}", file=sys.stderr)
         return 0
 
     instructions = resolve_instructions(args.instructions)

@@ -35,7 +35,7 @@ from repro.core.preconstructor import (
     StepResult,
     TraceConstructor,
 )
-from repro.core.region import Region
+from repro.core.region import Region, RegionState
 from repro.core.start_stack import StartPointStack
 from repro.isa import INSTRUCTION_BYTES
 from repro.program import ProgramImage
@@ -78,6 +78,7 @@ class PreconstructionStats:
     idle_cycles_offered: int = 0
     decode_steps: int = 0
     port_cycles_used: int = 0
+    port_overdraft_carried: int = 0
     static_seeds_offered: int = 0
 
 
@@ -105,17 +106,28 @@ class PreconstructionEngine:
         self._free_prefetch: list[PrefetchCache] = [
             PrefetchCache(cfg.prefetch_cache_instructions)
             for _ in range(cfg.num_prefetch_caches)]
+        decode_cache: dict = {}
         self.constructors = [
             TraceConstructor(image, icache, bimodal, self.selection,
-                             cfg.constructor)
+                             cfg.constructor, decode_cache=decode_cache)
             for _ in range(cfg.num_constructors)]
         self._active_regions: list[Region] = []
         self._regions_by_seq: dict[int, Region] = {}
         self._next_seq = 0
+        #: I-cache port cycles spent beyond what past idle bursts funded
+        #: (a line fetch issued with 1 cycle of budget still costs the
+        #: full miss latency); repaid out of the next burst's budget.
+        self._port_debt = 0
         self.stats = PreconstructionStats()
         #: Statically precomputed start points (best-first), fed to the
         #: stack at startup and whenever the dynamic cues run dry.
         self._static_seeds: deque[int] = deque(static_seeds or ())
+        #: Per-trace dispatch-cue memo: the start-point cues and the pc
+        #: set of a trace are pure functions of the trace, and the
+        #: selector interns trace objects, so each distinct trace is
+        #: scanned once rather than once per dispatch.  Keyed by id();
+        #: the stored trace reference pins the id.
+        self._cue_memo: dict[int, tuple] = {}
         self._refill_from_seeds()
 
     # ------------------------------------------------------------------
@@ -163,22 +175,34 @@ class PreconstructionEngine:
     # ------------------------------------------------------------------
     def observe_dispatch(self, trace: Trace) -> None:
         """Scan one dispatched trace for start-point cues and catch-up."""
-        outcome_index = 0
-        outcomes = trace.trace_id.outcomes
-        for pc, inst in zip(trace.pcs, trace.instructions):
+        memo = self._cue_memo.get(id(trace))
+        if memo is None or memo[0] is not trace:
+            outcome_index = 0
+            outcomes = trace.trace_id.outcomes
+            steps: list[tuple[int, Optional[int]]] = []
+            for pc, inst in zip(trace.pcs, trace.instructions):
+                push: Optional[int] = None
+                if inst.is_call:
+                    push = pc + INSTRUCTION_BYTES
+                elif inst.is_conditional_branch:
+                    taken = outcomes[outcome_index]
+                    outcome_index += 1
+                    if taken and inst.is_backward:
+                        push = pc + INSTRUCTION_BYTES
+                steps.append((pc, push))
+            memo = (trace, tuple(steps), frozenset(trace.pcs))
+            self._cue_memo[id(trace)] = memo
+        stack = self.stack
+        for pc, push in memo[1]:
             # Processor reached a pending start point: drop it.
-            if pc in self.stack:
-                self.stack.remove_reached(pc)
-            if inst.is_call:
-                self.stack.push(pc + INSTRUCTION_BYTES)
-            elif inst.is_conditional_branch:
-                taken = outcomes[outcome_index]
-                outcome_index += 1
-                if taken and inst.is_backward_branch():
-                    self.stack.push(pc + INSTRUCTION_BYTES)
-        self._check_catch_up(trace)
+            if pc in stack:
+                stack.remove_reached(pc)
+            if push is not None:
+                stack.push(push)
+        self._check_catch_up(trace, memo[2])
 
-    def _check_catch_up(self, trace: Trace) -> None:
+    def _check_catch_up(self, trace: Trace,
+                        pcs: Optional[frozenset] = None) -> None:
         """Abandon any active region the processor has reached.
 
         "Reached" means the dispatch stream actually arrived at the
@@ -189,7 +213,8 @@ class PreconstructionEngine:
         """
         if not self._active_regions:
             return
-        pcs = set(trace.pcs)
+        if pcs is None:
+            pcs = frozenset(trace.pcs)
         for region in list(self._active_regions):
             if region.start_pc in pcs:
                 self._finish_region(region, abandoned=True)
@@ -203,40 +228,75 @@ class PreconstructionEngine:
         Each idle cycle funds one decode step per constructor (they run
         in parallel); line fetches serialise on the shared I-cache port,
         which can move one line per ``latency`` cycles.
+
+        The port budget carries debt across bursts: a fetch may issue
+        on the last funded cycle and still cost a full miss latency, so
+        the overdraft is repaid from the next burst instead of being
+        forgotten (which used to over-credit the single I-cache port
+        within every idle burst).
         """
         if idle_cycles <= 0:
             return
-        self.stats.idle_cycles_offered += idle_cycles
+        stats = self.stats
+        stats.idle_cycles_offered += idle_cycles
         self._refill_from_seeds()
-        port_budget = idle_cycles
-        decode_budget = idle_cycles * len(self.constructors)
+        port_budget = idle_cycles - self._port_debt
+        constructors = self.constructors
+        decode_budget = idle_cycles * len(constructors)
+        decode_steps = 0
+        port_used = 0
+        handle = self._handle_step
+        active_state = RegionState.ACTIVE
+        # Scheduling state (free prefetch caches, the start-point stack,
+        # region worklists, idle constructors) only changes through
+        # _handle_step events, so spawn/assign re-run after one instead
+        # of every round.
+        busy: list[TraceConstructor] = []
+        needs_schedule = True
         while decode_budget > 0:
-            self._spawn_regions()
-            self._assign_constructors()
-            busy = [c for c in self.constructors if c.busy]
+            if needs_schedule:
+                self._spawn_regions()
+                self._assign_constructors()
+                busy = [c for c in constructors if c.region is not None]
+                needs_schedule = False
             if not busy:
                 break
             progressed = False
             for constructor in busy:
                 if decode_budget <= 0:
                     break
-                if not constructor.busy:
+                region = constructor.region
+                if region is None:
                     continue  # released mid-round (its region finished)
-                if constructor.needs_line_fetch() and port_budget <= 0:
+                # needs_line_fetch() inlined (one call per walked
+                # instruction): the region is known non-None here.
+                pc = constructor._pc
+                needs_fetch = (pc is not None and
+                               not region.prefetch_cache.contains(pc))
+                if needs_fetch and port_budget <= 0:
                     continue  # stalled on the I-cache port
-                result = constructor.step()
+                result = constructor.step(needs_fetch)
                 decode_budget -= result.decode_cost
                 port_budget -= result.port_cost
-                self.stats.decode_steps += result.decode_cost
-                self.stats.port_cycles_used += result.port_cost
-                self._handle_step(constructor, result)
+                decode_steps += result.decode_cost
+                port_used += result.port_cost
+                if result.notable or region.state is not active_state:
+                    handle(constructor, result)
+                    needs_schedule = True
                 progressed = True
             if not progressed:
                 break
+        stats.decode_steps += decode_steps
+        stats.port_cycles_used += port_used
+        debt = -port_budget if port_budget < 0 else 0
+        stats.port_overdraft_carried += max(0, debt - self._port_debt)
+        self._port_debt = debt
 
     # ------------------------------------------------------------------
     def _spawn_regions(self) -> None:
         """Turn the newest start points into regions while caches are free."""
+        if not self._free_prefetch or not len(self.stack):
+            return
         newest_first = self.config.stack_order == "newest_first"
         while self._free_prefetch and len(self.stack):
             start_pc = (self.stack.pop_newest() if newest_first
@@ -261,11 +321,13 @@ class PreconstructionEngine:
         """Hand free constructors start points, highest-priority region
         first ("it takes a new trace start point from the highest
         priority worklist")."""
-        idle = [c for c in self.constructors if not c.busy]
+        idle = [c for c in self.constructors if c.region is None]
         if not idle:
             return
-        for region in sorted(self._active_regions,
-                             key=Region.priority_key, reverse=True):
+        regions = self._active_regions
+        if len(regions) > 1:
+            regions = sorted(regions, key=Region.priority_key, reverse=True)
+        for region in regions:
             while idle and not region.worklist_empty:
                 point = region.pop_start_point()
                 if point is None:
@@ -280,13 +342,15 @@ class PreconstructionEngine:
         region = constructor.region
         if result.completed is not None:
             self._install(region, result.completed)
-        if result.new_start_point is not None and region.active:
+        active = region.state is RegionState.ACTIVE
+        if result.new_start_point is not None and active:
             region.push_start_point(result.new_start_point)
         if result.region_fetch_bound:
             region.fetch_bound_hit = True
             self.stats.regions_fetch_bound += 1
             self._finish_region(region)
-        if result.finished or not region.active:
+            active = False
+        if result.finished or not active:
             constructor.release()
 
     def _install(self, region: Region, trace: Trace) -> None:
@@ -322,9 +386,12 @@ class PreconstructionEngine:
 
     def _reap_regions(self) -> None:
         """Complete regions whose work is exhausted."""
-        for region in list(self._active_regions):
-            if region.worklist_empty and not any(
-                    c.region is region for c in self.constructors):
+        exhausted = [r for r in self._active_regions if r.worklist_empty]
+        if not exhausted:
+            return
+        assigned = {id(c.region) for c in self.constructors}
+        for region in exhausted:
+            if id(region) not in assigned:
                 self._finish_region(region)
 
     # ------------------------------------------------------------------

@@ -66,7 +66,7 @@ class ConstructorConfig:
                              f"{self.branch_policy!r}")
 
 
-@dataclass
+@dataclass(slots=True)
 class StepResult:
     """Outcome of one constructor step."""
 
@@ -77,9 +77,12 @@ class StepResult:
     new_start_point: Optional[StartPoint] = None
     finished: bool = False            # start point fully explored
     region_fetch_bound: bool = False  # prefetch cache filled up
+    notable: bool = False
+    """True when any engine-visible event field above is set — the
+    engine's one-load gate for dispatching to its slow handler."""
 
 
-@dataclass
+@dataclass(slots=True)
 class _DecisionPoint:
     """Saved walk state at a weakly-biased branch (not-taken explored
     first; this snapshot resumes the taken direction)."""
@@ -92,13 +95,19 @@ class _DecisionPoint:
     walked: int
 
 
+#: Sentinel distinguishing "never decoded" from a cached out-of-bounds
+#: ``None`` in the shared decode cache.
+_UNDECODED = object()
+
+
 class TraceConstructor:
     """One of the (four) parallel trace construction units."""
 
     def __init__(self, image: ProgramImage, icache: InstructionCache,
                  bimodal: BimodalPredictor,
                  selection: SelectionConfig | None = None,
-                 config: ConstructorConfig | None = None) -> None:
+                 config: ConstructorConfig | None = None,
+                 decode_cache: Optional[dict] = None) -> None:
         self.image = image
         self.icache = icache
         self.bimodal = bimodal
@@ -106,6 +115,16 @@ class TraceConstructor:
         self.config = config or ConstructorConfig()
         self.region: Optional[Region] = None
         self._builder = TraceBuilder(self.selection)
+        # PC -> decoded instruction (or None when out of bounds).  The
+        # image never changes during a run, and the engine shares one
+        # cache across its constructors so each static instruction is
+        # index-translated once rather than once per walk step.
+        self._decode: dict = decode_cache if decode_cache is not None else {}
+        self._branch_policy = self.config.branch_policy
+        # One StepResult reused across steps: the engine consumes each
+        # result before the next step, and allocating ~1 per walked
+        # instruction showed up in profiles.
+        self._result = StepResult()
         # Call-stack state *after* each buffered entry, aligned with the
         # builder's buffer; needed to restart correctly after truncation.
         self._entry_stacks: list[tuple[int, ...]] = []
@@ -140,37 +159,63 @@ class TraceConstructor:
 
     def needs_line_fetch(self) -> bool:
         """Will the next step consume the shared I-cache port?"""
-        return (self.busy and self._pc is not None
-                and not self.region.prefetch_cache.contains(self._pc))
+        region = self.region
+        pc = self._pc
+        return (region is not None and pc is not None
+                and not region.prefetch_cache.contains(pc))
+
+    def _fresh_result(self) -> StepResult:
+        """Reset and return the reused per-constructor StepResult."""
+        result = self._result
+        result.decode_cost = 1
+        result.port_cost = 0
+        result.icache_missed = False
+        result.completed = None
+        result.new_start_point = None
+        result.finished = False
+        result.region_fetch_bound = False
+        result.notable = False
+        return result
 
     # ------------------------------------------------------------------
-    def step(self) -> StepResult:
-        """Perform one instruction's worth of construction work."""
-        if not self.busy:
+    def step(self, needs_fetch: Optional[bool] = None) -> StepResult:
+        """Perform one instruction's worth of construction work.
+
+        ``needs_fetch`` lets the engine pass the result of its own
+        :meth:`needs_line_fetch` gate so the prefetch cache is not
+        probed twice per step; ``None`` probes here.
+        """
+        region = self.region
+        if region is None:
             raise RuntimeError("step on idle constructor")
-        if self._pc is None:
+        pc = self._pc
+        if pc is None:
             return self._backtrack_or_finish()
         if self._walked >= self.config.max_walk_instructions:
             self._reset_buffer()  # never emit a partial trace
             self._pc = None
             return self._backtrack_or_finish()
 
-        result = StepResult()
-        pc = self._pc
+        result = self._fresh_result()
 
         # Fetch through the prefetch cache; a fresh line uses the port.
-        if not self.region.prefetch_cache.contains(pc):
-            if not self.region.prefetch_cache.add_line(pc):
+        if (needs_fetch if needs_fetch is not None
+                else not region.prefetch_cache.contains(pc)):
+            if not region.prefetch_cache.add_line(pc):
                 self._reset_buffer()
                 self._pc = None
                 result.finished = True
                 result.region_fetch_bound = True
+                result.notable = True
                 return result
             latency, missed = self.icache.fetch_line(pc, "preconstruct")
             result.port_cost = latency
             result.icache_missed = missed
 
-        inst = self.image.try_fetch(pc)
+        inst = self._decode.get(pc, _UNDECODED)
+        if inst is _UNDECODED:
+            inst = self.image.try_fetch(pc)
+            self._decode[pc] = inst
         if inst is None or inst.kind is Kind.HALT:
             self._reset_buffer()
             self._pc = None
@@ -196,6 +241,7 @@ class TraceConstructor:
             return
         self._traces_emitted += 1
         result.completed = completed
+        result.notable = True
         cut = len(completed)
         if completed.next_pc:
             result.new_start_point = StartPoint(
@@ -213,7 +259,7 @@ class TraceConstructor:
     # ------------------------------------------------------------------
     def _backtrack_or_finish(self) -> StepResult:
         """Resume a saved decision point, or report the start point done."""
-        result = StepResult(decode_cost=1)
+        result = self._fresh_result()
         if (self._decisions
                 and self._traces_emitted < self.config.max_traces_per_start):
             point = self._decisions.pop()
@@ -221,13 +267,16 @@ class TraceConstructor:
             self._entry_stacks = list(point.entry_stacks)
             self._call_stack = point.call_stack
             self._walked = point.walked + 1
-            inst = self.image.fetch(point.pc)
+            inst = self._decode.get(point.pc)
+            if inst is None:
+                inst = self.image.fetch(point.pc)
             self._append_entry(point.pc, inst, True, point.taken_target,
                                result)
             self._pc = (None if result.completed is not None
                         else point.taken_target)
             return result
         result.finished = True
+        result.notable = True
         return result
 
     # ------------------------------------------------------------------
@@ -241,7 +290,7 @@ class TraceConstructor:
         fall = pc + INSTRUCTION_BYTES
         kind = inst.kind
         if kind is Kind.BRANCH:
-            policy = self.config.branch_policy
+            policy = self._branch_policy
             if policy == "taken":
                 return True, pc + inst.imm, False
             if policy == "not_taken":

@@ -30,7 +30,14 @@ class StartPointStack:
         if depth <= 0:
             raise ValueError("depth must be positive")
         self.depth = depth
-        self._stack: list[int] = []          # oldest first, newest last
+        # Oldest first, newest last.  A deque because overflow discards
+        # the *oldest* entry: on a list that popleft is O(depth) and it
+        # sits on the per-dispatched-trace hot path.
+        self._stack: deque[int] = deque()
+        # Occurrence counts mirroring the deque: membership is tested
+        # once per *dispatched instruction* (catch-up detection), so it
+        # must not scan the deque.
+        self._counts: dict[int, int] = {}
         self._completed: deque[int] = deque(maxlen=max(0, completed_memory))
         self.pushes = 0
         self.duplicate_suppressed = 0
@@ -50,19 +57,35 @@ class StartPointStack:
             self.duplicate_suppressed += 1
             return False
         if len(self._stack) >= self.depth:
-            self._stack.pop(0)  # discard the oldest
+            self._forget(self._stack.popleft())  # discard the oldest
             self.overflow_discards += 1
         self._stack.append(start_pc)
+        self._counts[start_pc] = self._counts.get(start_pc, 0) + 1
         self.pushes += 1
         return True
 
+    def _forget(self, start_pc: int) -> None:
+        remaining = self._counts[start_pc] - 1
+        if remaining:
+            self._counts[start_pc] = remaining
+        else:
+            del self._counts[start_pc]
+
     def pop_newest(self) -> Optional[int]:
         """Take the highest-priority (newest) start point."""
-        return self._stack.pop() if self._stack else None
+        if not self._stack:
+            return None
+        start_pc = self._stack.pop()
+        self._forget(start_pc)
+        return start_pc
 
     def pop_oldest(self) -> Optional[int]:
         """FIFO pop (ablation alternative to the paper's newest-first)."""
-        return self._stack.pop(0) if self._stack else None
+        if not self._stack:
+            return None
+        start_pc = self._stack.popleft()
+        self._forget(start_pc)
+        return start_pc
 
     def peek_newest(self) -> Optional[int]:
         return self._stack[-1] if self._stack else None
@@ -72,9 +95,10 @@ class StartPointStack:
         """Drop a start point the processor's execution has reached."""
         try:
             self._stack.remove(pc)
-            return True
         except ValueError:
             return False
+        self._forget(pc)
+        return True
 
     def mark_completed(self, start_pc: int) -> None:
         """Remember a region whose preconstruction finished."""
@@ -89,7 +113,7 @@ class StartPointStack:
         return len(self._stack)
 
     def __contains__(self, start_pc: int) -> bool:
-        return start_pc in self._stack
+        return start_pc in self._counts
 
     def entries(self) -> tuple[int, ...]:
         """Stack contents, oldest first (for tests/diagnostics)."""

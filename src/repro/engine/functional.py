@@ -146,12 +146,14 @@ class FunctionalEngine:
         if inst.kind is Kind.BRANCH:
             a = to_signed(read(inst.rs1))
             b = to_signed(read(inst.rs2))
-            taken = {
-                Opcode.BEQ: a == b,
-                Opcode.BNE: a != b,
-                Opcode.BLT: a < b,
-                Opcode.BGE: a >= b,
-            }[op]
+            if op is Opcode.BEQ:
+                taken = a == b
+            elif op is Opcode.BNE:
+                taken = a != b
+            elif op is Opcode.BLT:
+                taken = a < b
+            else:  # BGE
+                taken = a >= b
             return taken, (pc + inst.imm) if taken else fall
         if op is Opcode.J:
             return False, inst.imm

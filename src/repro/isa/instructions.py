@@ -17,16 +17,16 @@ Control-flow target conventions:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 from typing import Optional
 
 from repro.isa.opcodes import (
     CONTROL_KINDS,
     DIRECT_CONTROL_KINDS,
     INDIRECT_CONTROL_KINDS,
+    OP_INFO,
     Kind,
     Opcode,
-    info,
 )
 from repro.isa.registers import RA, ZERO, register_name
 
@@ -34,13 +34,20 @@ INSTRUCTION_BYTES = 4
 """Size of one instruction in bytes (PC stride)."""
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Instruction:
     """One decoded instruction.
 
     ``sh1``/``sh2`` are only meaningful for the fused :data:`Opcode.SADD`
     operation produced by the preprocessing pass (left-shift amounts for
     the two register operands).
+
+    The classification attributes (``kind``, ``latency``, ``is_*``) are
+    computed once at decode: the timing simulators consult them per
+    *dynamic* instruction, so deriving them from :data:`OP_INFO` on
+    every access would put two dict lookups on the hottest path in the
+    repository.  They are plain precomputed attributes, excluded from
+    equality/hash, and recomputed by ``dataclasses.replace``.
     """
 
     op: Opcode
@@ -52,50 +59,47 @@ class Instruction:
     sh2: int = 0
 
     # ------------------------------------------------------------------
-    # Classification helpers
+    # Precomputed classification (decode-time, not per dynamic use)
     # ------------------------------------------------------------------
-    @property
-    def kind(self) -> Kind:
-        return info(self.op).kind
+    kind: Kind = field(init=False, compare=False, repr=False)
+    latency: int = field(init=False, compare=False, repr=False)
+    #: True for any instruction that may redirect the PC.
+    is_control: bool = field(init=False, compare=False, repr=False)
+    is_conditional_branch: bool = field(init=False, compare=False,
+                                        repr=False)
+    #: True for direct and indirect calls (they push a return point).
+    is_call: bool = field(init=False, compare=False, repr=False)
+    #: True for ``JR ra`` — the idiomatic procedure return.
+    is_return: bool = field(init=False, compare=False, repr=False)
+    #: True when the target comes from a register (statically opaque).
+    is_indirect: bool = field(init=False, compare=False, repr=False)
+    is_direct_control: bool = field(init=False, compare=False, repr=False)
+    #: True for a conditional branch whose taken target precedes it.
+    is_backward: bool = field(init=False, compare=False, repr=False)
 
-    @property
-    def latency(self) -> int:
-        return info(self.op).latency
-
-    @property
-    def is_control(self) -> bool:
-        """True for any instruction that may redirect the PC."""
-        return self.kind in CONTROL_KINDS
-
-    @property
-    def is_conditional_branch(self) -> bool:
-        return self.kind is Kind.BRANCH
-
-    @property
-    def is_call(self) -> bool:
-        """True for direct and indirect calls (they push a return point)."""
-        return self.kind in (Kind.CALL, Kind.CALL_INDIRECT)
-
-    @property
-    def is_return(self) -> bool:
-        """True for ``JR ra`` — the idiomatic procedure return."""
-        return self.op is Opcode.JR and self.rs1 == RA
-
-    @property
-    def is_indirect(self) -> bool:
-        """True when the target comes from a register (statically opaque)."""
-        return self.kind in INDIRECT_CONTROL_KINDS
-
-    @property
-    def is_direct_control(self) -> bool:
-        return self.kind in DIRECT_CONTROL_KINDS
+    def __post_init__(self) -> None:
+        meta = OP_INFO[self.op]
+        kind = meta.kind
+        setter = object.__setattr__
+        setter(self, "kind", kind)
+        setter(self, "latency", meta.latency)
+        setter(self, "is_control", kind in CONTROL_KINDS)
+        setter(self, "is_conditional_branch", kind is Kind.BRANCH)
+        setter(self, "is_call", kind is Kind.CALL
+               or kind is Kind.CALL_INDIRECT)
+        setter(self, "is_return",
+               self.op is Opcode.JR and self.rs1 == RA)
+        setter(self, "is_indirect", kind in INDIRECT_CONTROL_KINDS)
+        setter(self, "is_direct_control", kind in DIRECT_CONTROL_KINDS)
+        setter(self, "is_backward",
+               kind is Kind.BRANCH and self.imm < 0)
 
     # ------------------------------------------------------------------
     # Target computation
     # ------------------------------------------------------------------
     def is_backward_branch(self) -> bool:
         """True for a conditional branch whose taken target precedes it."""
-        return self.is_conditional_branch and self.imm < 0
+        return self.is_backward
 
     def taken_target(self, pc: int) -> Optional[int]:
         """Static taken-path target, or ``None`` when register-indirect."""
@@ -116,7 +120,7 @@ class Instruction:
     # ------------------------------------------------------------------
     def source_registers(self) -> tuple[int, ...]:
         """Architectural registers read, with the hardwired zero removed."""
-        meta = info(self.op)
+        meta = OP_INFO[self.op]
         sources = []
         if meta.reads_rs1 and self.rs1 != ZERO:
             sources.append(self.rs1)
@@ -126,7 +130,7 @@ class Instruction:
 
     def destination_register(self) -> Optional[int]:
         """Architectural register written, or ``None`` (writes to r0 discard)."""
-        meta = info(self.op)
+        meta = OP_INFO[self.op]
         if meta.writes_rd and self.rd != ZERO:
             return self.rd
         return None
@@ -171,7 +175,7 @@ def format_instruction(inst: Instruction) -> str:
         return f"sw {n(inst.rs2)}, {inst.imm}({n(inst.rs1)})"
     if op is Opcode.LUI:
         return f"lui {n(inst.rd)}, {inst.imm}"
-    meta = info(op)
+    meta = OP_INFO[op]
     if meta.reads_rs2:
         return f"{op.value} {n(inst.rd)}, {n(inst.rs1)}, {n(inst.rs2)}"
     return f"{op.value} {n(inst.rd)}, {n(inst.rs1)}, {inst.imm}"

@@ -213,34 +213,35 @@ class ProcessorSimulation:
         front = self.config.frontend
         line_bytes = self.icache.config.line_bytes
         cycles = -(-len(actual) // front.fetch_width)
-        seen_line = None
-        for pc in actual.pcs:
-            line = pc - (pc % line_bytes)
-            if line != seen_line:
-                latency, missed = self.icache.fetch_line(
-                    line, "slow_path", instructions=0)
-                if missed:
-                    cycles += latency
-                seen_line = line
-        outcome_index = 0
-        for pc, inst in zip(actual.pcs, actual.instructions):
-            if inst.is_conditional_branch:
-                taken = actual.trace_id.outcomes[outcome_index]
-                outcome_index += 1
-                if self.bimodal.predict(pc) != taken:
-                    cycles += front.branch_mispredict_penalty
+        fetch_line = self.icache.fetch_line
+        for line, _count in actual.line_runs(line_bytes):
+            latency, missed = fetch_line(line, "slow_path", instructions=0)
+            if missed:
+                cycles += latency
+        outcomes = actual.trace_id.outcomes
+        if outcomes:
+            outcome_index = 0
+            predict = self.bimodal.predict
+            penalty = front.branch_mispredict_penalty
+            for pc, inst in zip(actual.pcs, actual.instructions):
+                if inst.is_conditional_branch:
+                    taken = outcomes[outcome_index]
+                    outcome_index += 1
+                    if predict(pc) != taken:
+                        cycles += penalty
         return cycles
 
     def _train(self, actual: Trace, predicted) -> None:
         self.predictor.update(actual.trace_id, predicted,
                               ends_in_call=actual.ends_in_call,
                               ends_in_return=actual.ends_in_return)
-        if self.config.frontend.train_bimodal_on_all_branches:
+        outcomes = actual.trace_id.outcomes
+        if outcomes and self.config.frontend.train_bimodal_on_all_branches:
             outcome_index = 0
+            update = self.bimodal.update
             for pc, inst in zip(actual.pcs, actual.instructions):
                 if inst.is_conditional_branch:
-                    self.bimodal.update(
-                        pc, actual.trace_id.outcomes[outcome_index])
+                    update(pc, outcomes[outcome_index])
                     outcome_index += 1
 
 

@@ -19,6 +19,12 @@ CODE_BASE = 0x1000
 #: Default base address of the data segment.
 DATA_BASE = 0x40_0000
 
+# PC-to-index arithmetic runs once per executed and once per
+# preconstructed instruction; shift/mask beats divmod there.
+_PC_SHIFT = INSTRUCTION_BYTES.bit_length() - 1
+_PC_MASK = INSTRUCTION_BYTES - 1
+assert 1 << _PC_SHIFT == INSTRUCTION_BYTES
+
 
 @dataclass
 class ProgramImage:
@@ -54,15 +60,19 @@ class ProgramImage:
         the simulator treats that as a wild jump (a bug in the workload
         or the machinery, never silently ignored).
         """
-        index, rem = divmod(pc - self.code_base, INSTRUCTION_BYTES)
-        if rem or not 0 <= index < len(self.instructions):
+        offset = pc - self.code_base
+        index = offset >> _PC_SHIFT
+        if (offset & _PC_MASK or index < 0
+                or index >= len(self.instructions)):
             raise IndexError(f"PC out of code segment: {pc:#x}")
         return self.instructions[index]
 
     def try_fetch(self, pc: int) -> Optional[Instruction]:
         """Like :meth:`fetch` but returns ``None`` out of bounds."""
-        index, rem = divmod(pc - self.code_base, INSTRUCTION_BYTES)
-        if rem or not 0 <= index < len(self.instructions):
+        offset = pc - self.code_base
+        index = offset >> _PC_SHIFT
+        if (offset & _PC_MASK or index < 0
+                or index >= len(self.instructions)):
             return None
         return self.instructions[index]
 

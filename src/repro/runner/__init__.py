@@ -8,9 +8,17 @@
   ``(schema_version, spec digest)``;
 * :mod:`repro.runner.pool` — :class:`ExperimentRunner`, grouping jobs
   by benchmark so each worker generates a dynamic stream once, plus the
-  :class:`TimingReport` behind ``repro all --timing-report``.
+  :class:`TimingReport` behind ``repro all --timing-report``;
+* :mod:`repro.runner.bench` — the seeded hot-path benchmark behind
+  ``repro bench`` and the ``BENCH_hotpath.json`` artifact.
 """
 
+from repro.runner.bench import (
+    bench_sections,
+    format_bench,
+    run_bench,
+    write_bench_report,
+)
 from repro.runner.cache import CACHE_DIR_ENV, ResultCache, default_cache_dir
 from repro.runner.pool import (
     ExperimentRunner,
@@ -33,6 +41,7 @@ from repro.runner.spec import (
 )
 
 __all__ = [
+    "bench_sections", "format_bench", "run_bench", "write_bench_report",
     "CACHE_DIR_ENV", "ResultCache", "default_cache_dir",
     "ExperimentRunner", "StreamCache", "TimingReport", "execute_spec",
     "run_point", "stderr_progress", "sweep",

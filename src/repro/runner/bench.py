@@ -1,0 +1,137 @@
+"""Seeded hot-path benchmark trajectory (``repro bench``).
+
+Times cold runs of the paper's heaviest exhibit workloads — the
+Figure-5 frontend sweep and the Tables 1-3 traffic points — through the
+ordinary :class:`~repro.runner.pool.ExperimentRunner`, with the result
+cache disabled and a fresh stream cache, so the numbers measure the
+simulator itself rather than the cache layer.
+
+The module pins the pre-overhaul wall-clock baselines (measured on the
+commit before the hot-path PR, same machine class, ``jobs=1``, cold)
+so every subsequent run reports its speedup against a fixed origin
+rather than against whatever happened to run last.  Budgets are pinned
+too: the baselines are only comparable at the instruction counts they
+were recorded at, so ``repro bench`` ignores ``--instructions``.
+
+``write_bench_report`` serialises the measurement — baseline, current
+and speedup per section, plus the full scheduler timing report — to
+``BENCH_hotpath.json``, the artifact CI uploads.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Any, Callable, Optional
+
+from repro.runner.pool import ExperimentRunner
+from repro.runner.spec import ExperimentSpec
+
+#: Commit the baselines were measured on (the parent of the hot-path
+#: overhaul PR), recorded so a report is interpretable on its own.
+BASELINE_COMMIT = "61d73a5"
+
+#: Pinned budgets — changing these invalidates the baselines.
+FULL_INSTRUCTIONS = 60_000
+QUICK_INSTRUCTIONS = 20_000
+QUICK_BENCHMARKS = ("gcc", "go")
+
+#: Cold single-job wall-clock seconds on :data:`BASELINE_COMMIT`.
+BASELINE_SECONDS: dict[tuple[str, str], float] = {
+    ("full", "figure5"): 104.90,   # 160 specs, all benchmarks @60k
+    ("full", "tables"): 2.95,      # 4 specs @60k
+    ("quick", "figure5"): 9.67,    # 40 specs, gcc+go @20k
+}
+
+
+def bench_sections(quick: bool = False
+                   ) -> list[tuple[str, list[ExperimentSpec]]]:
+    """The (name, specs) sections one bench mode measures."""
+    from repro.analysis.sweeps import figure5_specs
+    from repro.analysis.tables import TABLE_BENCHMARKS, tables_specs
+    from repro.workloads import SPEC95_NAMES
+
+    if quick:
+        specs = [spec for benchmark in QUICK_BENCHMARKS
+                 for spec in figure5_specs(benchmark, QUICK_INSTRUCTIONS)]
+        return [("figure5", specs)]
+    return [
+        ("figure5", [spec for benchmark in SPEC95_NAMES
+                     for spec in figure5_specs(benchmark,
+                                               FULL_INSTRUCTIONS)]),
+        ("tables", tables_specs(FULL_INSTRUCTIONS, TABLE_BENCHMARKS)),
+    ]
+
+
+def run_bench(quick: bool = False, jobs: int = 1,
+              progress: Optional[Callable[[str], None]] = None
+              ) -> dict[str, Any]:
+    """Run one bench mode cold and return the report payload.
+
+    Each section gets its own runner (no result cache, no shared
+    stream cache) so section times are independent cold measurements.
+    Speedups are only meaningful at ``jobs=1`` — the baselines are
+    single-job — but parallel runs still record their wall time.
+    """
+    mode = "quick" if quick else "full"
+    sections: dict[str, Any] = {}
+    reports = []
+    for name, specs in bench_sections(quick):
+        runner = ExperimentRunner(jobs=jobs, cache=None, progress=progress)
+        started = time.perf_counter()
+        runner.run(specs)
+        elapsed = time.perf_counter() - started
+        baseline = BASELINE_SECONDS[(mode, name)]
+        sections[name] = {
+            "specs": len(specs),
+            "baseline_seconds": baseline,
+            "current_seconds": round(elapsed, 2),
+            "speedup": round(baseline / elapsed, 2) if elapsed else None,
+        }
+        reports.append(runner.report.to_dict())
+
+    total_baseline = sum(s["baseline_seconds"] for s in sections.values())
+    total_current = sum(s["current_seconds"] for s in sections.values())
+    return {
+        "schema": 1,
+        "mode": mode,
+        "jobs": jobs,
+        "baseline_commit": BASELINE_COMMIT,
+        "instructions": (QUICK_INSTRUCTIONS if quick
+                         else FULL_INSTRUCTIONS),
+        "sections": sections,
+        "total": {
+            "baseline_seconds": round(total_baseline, 2),
+            "current_seconds": round(total_current, 2),
+            "speedup": (round(total_baseline / total_current, 2)
+                        if total_current else None),
+        },
+        "timing_reports": reports,
+    }
+
+
+def write_bench_report(payload: dict[str, Any],
+                       path: str | Path = "BENCH_hotpath.json") -> Path:
+    """Write ``payload`` as deterministic JSON; returns the path."""
+    target = Path(path)
+    target.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return target
+
+
+def format_bench(payload: dict[str, Any]) -> str:
+    """Human-readable one-block summary of a bench payload."""
+    lines = [f"repro bench ({payload['mode']}, jobs={payload['jobs']}, "
+             f"baseline {payload['baseline_commit']})"]
+    for name, section in payload["sections"].items():
+        lines.append(
+            f"  {name:8s} {section['specs']:4d} specs: "
+            f"{section['current_seconds']:8.2f}s "
+            f"(baseline {section['baseline_seconds']:.2f}s, "
+            f"{section['speedup']:.2f}x)")
+    total = payload["total"]
+    lines.append(f"  {'total':8s} {'':4s}       "
+                 f"{total['current_seconds']:8.2f}s "
+                 f"(baseline {total['baseline_seconds']:.2f}s, "
+                 f"{total['speedup']:.2f}x)")
+    return "\n".join(lines)

@@ -53,6 +53,7 @@ class StreamCache:
         self._streams: dict[tuple[str, Optional[int]],
                             list[StreamRecord]] = {}
         self._images: dict[tuple[str, Optional[int]], Any] = {}
+        self._traces: dict[tuple, list] = {}
 
     def image(self, benchmark: str, workload_seed: Optional[int] = None):
         key = (benchmark, workload_seed)
@@ -68,6 +69,27 @@ class StreamCache:
             engine = FunctionalEngine(self.image(benchmark, workload_seed))
             self._streams[key] = engine.run(self.instructions)
         return self._streams[key]
+
+    def traces(self, benchmark: str, instructions: int,
+               selection, workload_seed: Optional[int] = None) -> list:
+        """The stream's trace partition under ``selection``.
+
+        Partitioning depends only on the stream prefix and the selection
+        rules — not on any cache/predictor sizing — so every point of a
+        sweep over one benchmark shares the same trace sequence.  The
+        selector's interning makes the cached sequence mostly shared
+        objects, so this is cheap to hold and makes downstream identity
+        fast paths (trace-cache probes, predictor training) hit across
+        the whole sweep, not just within one point.
+        """
+        key = (benchmark, workload_seed, instructions, selection)
+        traces = self._traces.get(key)
+        if traces is None:
+            from repro.trace import traces_of_stream
+            stream = self.stream(benchmark, workload_seed)[:instructions]
+            traces = traces_of_stream(stream, selection)
+            self._traces[key] = traces
+        return traces
 
 
 # ----------------------------------------------------------------------
@@ -104,8 +126,11 @@ def execute_spec(spec: ExperimentSpec,
     stream = stream_cache.stream(spec.benchmark, spec.workload_seed)
 
     if spec.kind == "frontend":
-        result = run_frontend(image, spec.frontend_config(),
-                              spec.instructions, stream=stream)
+        config = spec.frontend_config()
+        traces = stream_cache.traces(spec.benchmark, spec.instructions,
+                                     config.selection, spec.workload_seed)
+        result = run_frontend(image, config, spec.instructions,
+                              stream=stream, traces=traces)
         metrics = _frontend_metrics(result.stats)
     elif spec.kind == "processor":
         result = run_processor(image, spec.processor_config(),

@@ -40,7 +40,12 @@ from repro.trace import TraceCacheConfig
 
 #: Bump when spec semantics or recorded metrics change incompatibly;
 #: every cached result keyed under an older schema is ignored.
-SPEC_SCHEMA_VERSION = 1
+#: v2: timing-model bugfixes — trace-hit pace uses ceiling division
+#: instead of ``round``, preconstruction I-cache port overdraft is
+#: carried across ticks, and the default set-index hash is
+#: PYTHONHASHSEED-independent.  Metrics move slightly; old cached
+#: results must not be reused.
+SPEC_SCHEMA_VERSION = 2
 
 #: Built-in per-run instruction budget (the harness scale documented in
 #: EXPERIMENTS.md: the paper's 200M-instruction runs scaled down

@@ -21,6 +21,7 @@ Tables 1-3.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Iterable, Optional
 
@@ -31,7 +32,23 @@ from repro.engine import FunctionalEngine, StreamRecord
 from repro.program import ProgramImage
 from repro.sim.config import FrontendConfig
 from repro.sim.stats import FrontendStats
-from repro.trace import Trace, TraceCache, TraceSelector
+from repro.trace import MAX_TRACE_LENGTH, Trace, TraceCache, TraceSelector
+
+
+def retire_pace_table(retire_ipc: float,
+                      max_length: int = MAX_TRACE_LENGTH) -> tuple[int, ...]:
+    """Cycles the backend needs to consume a trace of each length.
+
+    ``table[n]`` is the pace for an ``n``-instruction trace: ceiling
+    division of the length by the sustained retire rate, floored at the
+    single trace-cache fetch cycle.  Ceiling, not ``round`` — banker's
+    rounding made a 15-instruction trace at ``retire_ipc=2.5`` cost the
+    same 6 cycles as a 16-instruction one, undercharging any trace
+    whose drain time lands on .5 (and crediting too many idle cycles to
+    preconstruction).
+    """
+    return tuple(max(1, math.ceil(n / retire_ipc))
+                 for n in range(max_length + 1))
 
 
 @dataclass
@@ -58,6 +75,14 @@ class FrontendSimulation:
         self.predictor: NextTracePredictor = NextTracePredictor(
             config.predictor)
         self.selector = TraceSelector(config.selection)
+        # Pace of backend-paced consumption, precomputed per length.
+        self._pace = retire_pace_table(config.retire_ipc,
+                                       config.selection.max_length)
+        #: Per-trace (pc, taken) pairs of the conditional branches — a
+        #: pure function of the trace, consulted by both the slow path
+        #: and predictor training on every dynamic occurrence.  Keyed by
+        #: id(); the stored trace reference pins the id.
+        self._branch_memo: dict[int, tuple[Trace, tuple]] = {}
         self.precon: Optional[PreconstructionEngine] = None
         if config.preconstruction is not None:
             static_seeds: tuple[int, ...] = ()
@@ -73,17 +98,29 @@ class FrontendSimulation:
                 static_seeds=static_seeds)
 
     # ------------------------------------------------------------------
-    def run(self, stream: Iterable[StreamRecord]) -> FrontendResult:
-        """Replay ``stream`` through the frontend."""
-        feed = self.selector.feed
+    def run(self, stream: Iterable[StreamRecord],
+            traces: Optional[Iterable[Trace]] = None) -> FrontendResult:
+        """Replay ``stream`` through the frontend.
+
+        ``traces`` may carry the stream's precomputed trace partition
+        (see :meth:`~repro.runner.StreamCache.traces`); partitioning is
+        a pure function of the stream and the selection config, so a
+        sweep re-running one stream under many sizings need not re-feed
+        the selector per point.  When given, ``stream`` is ignored.
+        """
         step = self._process_trace
-        for record in stream:
-            trace = feed(record)
-            if trace is not None:
+        if traces is not None:
+            for trace in traces:
                 step(trace)
-        tail = self.selector.flush()
-        if tail is not None:
-            step(tail)
+        else:
+            feed = self.selector.feed
+            for record in stream:
+                trace = feed(record)
+                if trace is not None:
+                    step(trace)
+            tail = self.selector.flush()
+            if tail is not None:
+                step(tail)
         return FrontendResult(config=self.config, stats=self.stats,
                               trace_cache=self.trace_cache,
                               preconstruction=self.precon,
@@ -121,11 +158,9 @@ class FrontendSimulation:
 
         if present:
             stats.trace_hits += 1
-            fetch_cycles = 1
             # Backend-paced consumption: the window drains at retire_ipc,
             # so the slow path idles while the trace cache supplies.
-            pace = max(fetch_cycles,
-                       round(len(actual) / config.retire_ipc))
+            pace = self._pace[len(actual)]
             cycles += pace
             idle_cycles += pace
         else:
@@ -151,32 +186,24 @@ class FrontendSimulation:
         line_bytes = self.icache.config.line_bytes
 
         cycles = -(-len(actual) // config.fetch_width)  # ceil division
-        # Group the dynamic path into consecutive same-line runs.
-        run_line = None
-        run_count = 0
-        for pc in actual.pcs:
-            line = pc - (pc % line_bytes)
-            if line == run_line:
-                run_count += 1
-                continue
-            if run_line is not None:
-                cycles += self._slow_line(run_line, run_count)
-            run_line, run_count = line, 1
-        if run_line is not None:
+        # The dynamic path grouped into consecutive same-line runs,
+        # precomputed once per trace object.
+        for run_line, run_count in actual.line_runs(line_bytes):
             cycles += self._slow_line(run_line, run_count)
 
         stats.slow_instructions += len(actual)
         # Slow path consults the bimodal predictor per conditional branch.
-        outcome_index = 0
-        for inst, pc in zip(actual.instructions, actual.pcs):
-            if inst.is_conditional_branch:
-                taken = actual.trace_id.outcomes[outcome_index]
-                outcome_index += 1
-                prediction = self.bimodal.predict(pc)
-                stats.bimodal_predictions += 1
-                if prediction != taken:
-                    stats.bimodal_mispredictions += 1
-                    cycles += config.branch_mispredict_penalty
+        if actual.trace_id.outcomes:
+            pairs = self._branch_pairs(actual)
+            predict = self.bimodal.predict
+            penalty = config.branch_mispredict_penalty
+            mispredictions = 0
+            for pc, taken in pairs:
+                if predict(pc) != taken:
+                    mispredictions += 1
+                    cycles += penalty
+            stats.bimodal_predictions += len(pairs)
+            stats.bimodal_mispredictions += mispredictions
 
         # Fill unit installs the newly built trace (never the partial
         # end-of-stream tail — its identity may collide).
@@ -197,19 +224,33 @@ class FrontendSimulation:
         return 0
 
     # ------------------------------------------------------------------
+    def _branch_pairs(self, trace: Trace) -> tuple[tuple[int, bool], ...]:
+        """Memoized (pc, taken) per conditional branch of ``trace``."""
+        memo = self._branch_memo.get(id(trace))
+        if memo is not None and memo[0] is trace:
+            return memo[1]
+        outcomes = trace.trace_id.outcomes
+        outcome_index = 0
+        pairs: list[tuple[int, bool]] = []
+        for pc, inst in zip(trace.pcs, trace.instructions):
+            if inst.is_conditional_branch:
+                pairs.append((pc, outcomes[outcome_index]))
+                outcome_index += 1
+        result = tuple(pairs)
+        self._branch_memo[id(trace)] = (trace, result)
+        return result
+
     def _train_predictors(self, actual: Trace,
                           predicted: Optional[object]) -> None:
         self.predictor.update(
             actual.trace_id, predicted,
             ends_in_call=actual.ends_in_call,
             ends_in_return=actual.ends_in_return)
-        if self.config.train_bimodal_on_all_branches:
-            outcome_index = 0
-            for inst, pc in zip(actual.instructions, actual.pcs):
-                if inst.is_conditional_branch:
-                    self.bimodal.update(
-                        pc, actual.trace_id.outcomes[outcome_index])
-                    outcome_index += 1
+        if (actual.trace_id.outcomes
+                and self.config.train_bimodal_on_all_branches):
+            update = self.bimodal.update
+            for pc, taken in self._branch_pairs(actual):
+                update(pc, taken)
         # Keep Table 2's preconstruction traffic mirrored into stats.
         traffic = self.icache.traffic.get("preconstruct")
         if traffic is not None:
@@ -219,10 +260,14 @@ class FrontendSimulation:
 
 def run_frontend(image: ProgramImage, config: FrontendConfig,
                  max_instructions: int,
-                 stream: Optional[list[StreamRecord]] = None
+                 stream: Optional[list[StreamRecord]] = None,
+                 traces: Optional[list[Trace]] = None
                  ) -> FrontendResult:
     """Convenience wrapper: execute ``image`` functionally (or reuse a
-    precomputed ``stream``) and replay it through the frontend."""
+    precomputed ``stream`` / its trace partition ``traces``) and replay
+    it through the frontend."""
+    if traces is not None:
+        return FrontendSimulation(image, config).run((), traces=traces)
     if stream is None:
         stream = FunctionalEngine(image).run(max_instructions)
     else:

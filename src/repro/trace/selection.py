@@ -60,10 +60,32 @@ class TraceBuilder:
     def __init__(self, config: SelectionConfig | None = None) -> None:
         self.config = config or SelectionConfig()
         self._entries: list[tuple[int, Instruction, bool, int, int]] = []
+        #: Branch outcomes of the buffered entries, maintained
+        #: incrementally so :meth:`_emit` need not re-scan the entries.
+        self._outcomes: list[bool] = []
         #: Effective addresses (0 for non-memory) of the entries of the
         #: most recently emitted trace — a side channel because traces
         #: are cached/shared objects while addresses are per-instance.
         self.last_addresses: tuple[int, ...] = ()
+        #: Interning table for emitted trace identities: the same
+        #: dynamic path re-emits the same (start_pc, outcomes) many
+        #: times, and an interned TraceID makes every downstream
+        #: equality check hit the identity fast path.
+        self._id_intern: dict[tuple[int, tuple[bool, ...]], TraceID] = {}
+        #: Interning table for whole traces.  Valid only while every
+        #: indirect transfer ends its trace (the default): then the
+        #: instruction path is a pure function of (start_pc, outcomes)
+        #: and the image, and ``next_pc`` disambiguates a trailing
+        #: indirect's target — so the same key always denotes an
+        #: identical trace and the object can be reused outright
+        #: (sharing its line-run memo across all its occurrences).
+        self._trace_intern: dict[tuple[TraceID, int], Trace] = {}
+        self._intern_traces = self.config.end_at_indirect
+        # Stopping rules flattened out of the config dataclass: add()
+        # runs once per dynamic and once per preconstructed instruction.
+        self._end_at_returns = self.config.end_at_returns
+        self._end_at_indirect = self.config.end_at_indirect
+        self._max_length = self.config.max_length
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -76,13 +98,15 @@ class TraceBuilder:
     def add(self, pc: int, inst: Instruction, taken: bool,
             next_pc: int, mem_addr: int = 0) -> Optional[Trace]:
         """Append one dynamic instruction; return a trace if one completed."""
-        self._entries.append((pc, inst, taken, next_pc, mem_addr))
-        cfg = self.config
-        if cfg.end_at_returns and inst.is_return:
-            return self._emit(len(self._entries))
-        if cfg.end_at_indirect and inst.is_indirect:
-            return self._emit(len(self._entries))
-        if len(self._entries) >= cfg.max_length:
+        entries = self._entries
+        entries.append((pc, inst, taken, next_pc, mem_addr))
+        if inst.is_conditional_branch:
+            self._outcomes.append(taken)
+        if inst.is_return and self._end_at_returns:
+            return self._emit(len(entries))
+        if inst.is_indirect and self._end_at_indirect:
+            return self._emit(len(entries))
+        if len(entries) >= self._max_length:
             return self._emit(self._aligned_cut())
         return None
 
@@ -100,6 +124,7 @@ class TraceBuilder:
 
     def reset(self) -> None:
         self._entries.clear()
+        self._outcomes.clear()
 
     def snapshot_entries(self
                          ) -> list[tuple[int, Instruction, bool, int, int]]:
@@ -112,6 +137,8 @@ class TraceBuilder:
     ) -> None:
         """Replace the buffer (constructor decision-point resumption)."""
         self._entries = list(entries)
+        self._outcomes = [taken for _, inst, taken, _, _ in entries
+                          if inst.is_conditional_branch]
 
     # ------------------------------------------------------------------
     def _aligned_cut(self) -> int:
@@ -127,8 +154,9 @@ class TraceBuilder:
         if not align:
             return n
         last_backward = None
+        entries = self._entries
         for i in range(n - 1, -1, -1):
-            if self._entries[i][1].is_backward_branch():
+            if entries[i][1].is_backward:
                 last_backward = i
                 break
         if last_backward is None:
@@ -140,22 +168,61 @@ class TraceBuilder:
     def _emit(self, cut: int, partial: bool = False) -> Trace:
         assert 0 < cut <= len(self._entries)
         entries = self._entries[:cut]
-        self._entries = self._entries[cut:]
-        pcs = tuple(e[0] for e in entries)
-        instructions = tuple(e[1] for e in entries)
-        outcomes = tuple(e[2] for e in entries
-                         if e[1].is_conditional_branch)
+        rest = self._entries[cut:]
+        self._entries = rest
+
+        # Split the incrementally-tracked outcomes at the cut: only a
+        # length-limit truncation leaves entries behind, and then only a
+        # few, so counting the leftover's branches is cheap.
+        outcome_list = self._outcomes
+        if rest:
+            rest_branches = sum(
+                1 for e in rest if e[1].is_conditional_branch)
+            if rest_branches:
+                emitted = len(outcome_list) - rest_branches
+                outcomes = tuple(outcome_list[:emitted])
+                self._outcomes = outcome_list[emitted:]
+            else:
+                outcomes = tuple(outcome_list)
+                self._outcomes = []
+        else:
+            outcomes = tuple(outcome_list)
+            self._outcomes = []
+
         self.last_addresses = tuple(e[4] for e in entries)
-        last_pc, last_inst, _, last_next = entries[-1][:4]
-        return Trace(
-            trace_id=TraceID(start_pc=pcs[0], outcomes=outcomes),
-            instructions=instructions,
-            pcs=pcs,
+        last = entries[-1]
+        last_next = last[3]
+        key = (entries[0][0], outcomes)
+        trace_id = self._id_intern.get(key)
+        if trace_id is None:
+            trace_id = TraceID(start_pc=key[0], outcomes=outcomes)
+            self._id_intern[key] = trace_id
+
+        intern = self._intern_traces and not partial
+        if intern:
+            memo_key = (trace_id, last_next)
+            trace = self._trace_intern.get(memo_key)
+            if trace is not None:
+                return trace
+
+        pcs: list[int] = []
+        instructions: list[Instruction] = []
+        for entry in entries:
+            pcs.append(entry[0])
+            instructions.append(entry[1])
+        last_inst = last[1]
+        trace = Trace(
+            trace_id=trace_id,
+            instructions=tuple(instructions),
+            pcs=tuple(pcs),
             next_pc=last_next,
             ends_in_call=last_inst.is_call,
             ends_in_return=last_inst.is_return,
             partial=partial,
         )
+        if intern:
+            self._trace_intern[memo_key] = trace
+        return trace
 
 
 class TraceSelector:

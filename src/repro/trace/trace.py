@@ -11,7 +11,7 @@ at a jump table.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.isa import Instruction
@@ -22,11 +22,37 @@ MAX_TRACE_LENGTH = 16
 
 @dataclass(frozen=True, slots=True)
 class TraceID:
-    """Hashable identity of a trace."""
+    """Hashable identity of a trace.
+
+    Trace identities are hashed on every trace-cache and
+    preconstruction-buffer probe — several times per dispatched trace —
+    so the hash is computed once at construction and cached.  Equality
+    short-circuits on identity first: the selector interns the IDs it
+    emits, so repeated traces usually compare as the same object.
+    """
 
     start_pc: int
     outcomes: tuple[bool, ...]
     indirect_targets: tuple[int, ...] = ()
+    _hash: int = field(init=False, compare=False, repr=False)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "_hash",
+            hash((self.start_pc, self.outcomes, self.indirect_targets)))
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if other.__class__ is not TraceID:
+            return NotImplemented
+        return (self._hash == other._hash
+                and self.start_pc == other.start_pc
+                and self.outcomes == other.outcomes
+                and self.indirect_targets == other.indirect_targets)
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         bits = "".join("T" if o else "N" for o in self.outcomes)
@@ -54,6 +80,11 @@ class Trace:
     cut by the measurement boundary rather than a selection rule, so
     its identity may collide with the properly delimited trace from the
     same start point.  Partial traces must never be cached."""
+
+    _line_runs: dict = field(default_factory=dict, init=False,
+                             compare=False, repr=False)
+    """Per-line-size memo of :meth:`line_runs`; traces are immutable,
+    so the runs never change once computed."""
 
     def __post_init__(self) -> None:
         if not self.instructions:
@@ -87,3 +118,29 @@ class Trace:
     def blocks_touched(self, line_bytes: int = 64) -> set[int]:
         """Cache-line addresses this trace's instructions occupy."""
         return {pc - (pc % line_bytes) for pc in self.pcs}
+
+    def line_runs(self, line_bytes: int) -> tuple[tuple[int, int], ...]:
+        """Consecutive same-line runs of the trace's dynamic path.
+
+        Returns ``((line_address, instruction_count), ...)`` — the
+        access pattern the slow-path fetch unit presents to the I-cache.
+        Memoized: the timing models walk this once per dynamic
+        occurrence of the trace, and the pcs are immutable.
+        """
+        runs = self._line_runs.get(line_bytes)
+        if runs is None:
+            out: list[tuple[int, int]] = []
+            run_line = -1
+            run_count = 0
+            for pc in self.pcs:
+                line = pc - (pc % line_bytes)
+                if line == run_line:
+                    run_count += 1
+                else:
+                    if run_count:
+                        out.append((run_line, run_count))
+                    run_line, run_count = line, 1
+            out.append((run_line, run_count))
+            runs = tuple(out)
+            self._line_runs[line_bytes] = runs
+        return runs

@@ -7,6 +7,7 @@ import pytest
 
 from repro.runner import (
     DEFAULT_INSTRUCTIONS,
+    SPEC_SCHEMA_VERSION,
     ExperimentRunner,
     ExperimentSpec,
     ResultCache,
@@ -124,7 +125,8 @@ class TestResultCache:
     def test_schema_version_change_misses(self, tmp_path):
         spec = spec_for()
         ResultCache(tmp_path).put(spec, execute_spec(spec))
-        assert ResultCache(tmp_path, schema_version=2).get(spec) is None
+        bumped = SPEC_SCHEMA_VERSION + 1
+        assert ResultCache(tmp_path, schema_version=bumped).get(spec) is None
 
     def test_corrupted_entry_falls_back_to_recompute(self, tmp_path):
         cache = ResultCache(tmp_path)
