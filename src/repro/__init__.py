@@ -21,6 +21,9 @@ A from-scratch trace-processor simulation stack:
 * :mod:`repro.runner` — experiment descriptions (`ExperimentSpec`),
   a content-addressed result cache, and a benchmark-grouped process
   pool behind ``python -m repro all --jobs N``;
+* :mod:`repro.obs` — observability: the cycle-domain event bus,
+  interval metrics, run manifests, Chrome/Perfetto export and stdlib
+  logging behind ``python -m repro stats`` / ``trace``;
 * :mod:`repro.api` — the stable import facade for all of the above.
 
 Quickstart::
@@ -47,7 +50,7 @@ from repro.static import (
     verify_image,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "__version__",

@@ -4,4 +4,10 @@ import sys
 
 from repro.cli import main
 
-sys.exit(main())
+try:
+    sys.exit(main())
+except BrokenPipeError:
+    # Downstream pager/head closed the pipe: the Unix convention is to
+    # die quietly, not with a traceback.
+    sys.stderr.close()
+    sys.exit(141)  # 128 + SIGPIPE

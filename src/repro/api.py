@@ -23,6 +23,10 @@ The surface, by layer:
 * **Simulators** (for bespoke studies) — :func:`run_frontend`,
   :func:`run_processor`, :func:`run_dynamic_frontend` and their
   configuration types;
+* **Observability** — :func:`run_observed`, :class:`ObsBus`, the
+  event sinks, :class:`IntervalMetrics`, :func:`build_manifest`,
+  :func:`write_perfetto` / :func:`validate_chrome_trace`, and the
+  :func:`get_logger` / :func:`configure_logging` logging helpers;
 * **Building blocks** (for custom workload scripts) —
   :func:`assemble`, :class:`ProgramImage`, :class:`FunctionalEngine`,
   :class:`TraceCache`, :class:`PreconstructionEngine`, ...
@@ -48,6 +52,21 @@ from repro.caches import InstructionCache
 from repro.core import PreconstructionConfig, PreconstructionEngine
 from repro.engine import FunctionalEngine
 from repro.isa import assemble
+from repro.obs import (
+    IntervalMetrics,
+    JsonlSink,
+    NullSink,
+    ObsBus,
+    ObservedRun,
+    RingBufferSink,
+    build_manifest,
+    configure_logging,
+    get_logger,
+    run_observed,
+    run_observed_many,
+    validate_chrome_trace,
+    write_perfetto,
+)
 from repro.program import ProgramImage
 from repro.processor import ProcessorConfig, run_processor
 from repro.runner import (
@@ -107,6 +126,11 @@ __all__ = [
     "DynamicPartitionConfig", "FrontendConfig", "ProcessorConfig",
     "build_frontend_config", "build_processor_config",
     "run_dynamic_frontend", "run_frontend", "run_processor",
+    # observability
+    "IntervalMetrics", "JsonlSink", "NullSink", "ObsBus", "ObservedRun",
+    "RingBufferSink", "build_manifest", "configure_logging", "get_logger",
+    "run_observed", "run_observed_many", "validate_chrome_trace",
+    "write_perfetto",
     # exhibit drivers
     "compute_tables", "figure5_sweep", "figure6", "figure8",
     "format_all_tables", "format_figure5", "format_figure6",

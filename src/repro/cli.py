@@ -5,14 +5,23 @@ Usage::
     python -m repro list
     python -m repro analyze gcc [--json]
     python -m repro point gcc --tc 256 --pb 256 [--static-seed]
-    python -m repro figure5 --benchmarks gcc go --jobs 4
+    python -m repro stats gcc [--tc 256 --pb 256] [--json]
+    python -m repro trace gcc --out trace.json [--events PATH] [--metrics PATH]
+    python -m repro figure5 --benchmarks gcc go --jobs 4 [--stats-json PATH]
     python -m repro tables [--jobs N] [--benchmarks ...]
     python -m repro figure6 [--jobs N] [--benchmarks ...]
     python -m repro figure8 [--jobs N] [--benchmarks ...]
     python -m repro dynamic --benchmarks gcc go
     python -m repro all --jobs 4 [--timing-report timing.json]
-    python -m repro bench [--quick] [--output BENCH_hotpath.json]
+    python -m repro bench [--quick] [--check BENCH_hotpath.json]
     python -m repro cache [--clear]
+
+Observability: ``repro stats`` and ``repro trace`` run one frontend
+point with the :mod:`repro.obs` event bus attached — ``stats`` prints
+the counter summary plus interval histograms, ``trace`` exports a
+Chrome/Perfetto ``trace.json`` of the engine timeline (plus optional
+raw ``events.jsonl`` / ``metrics.jsonl``).  ``-v``/``--log-level``
+configure stdlib logging for every command.
 
 Every exhibit command routes through :mod:`repro.runner`: points are
 described as :class:`ExperimentSpec` batches, deduplicated, served
@@ -30,7 +39,9 @@ The instruction budget precedence is ``--instructions`` >
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+from pathlib import Path
 from typing import Callable, Optional, Sequence
 
 from repro.analysis import (
@@ -80,6 +91,12 @@ def _parser() -> argparse.ArgumentParser:
                              "REPRO_CACHE_DIR env, else ~/.cache/repro)")
     parser.add_argument("--no-cache", action="store_true",
                         help="do not read or write the result cache")
+    parser.add_argument("-v", "--verbose", action="count", default=0,
+                        help="increase log verbosity (-v info, -vv debug)")
+    parser.add_argument("--log-level", default=None,
+                        choices=("debug", "info", "warning", "error",
+                                 "critical"),
+                        help="explicit log level (overrides -v)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("list", help="list the SPECint95 stand-in benchmarks")
@@ -100,6 +117,37 @@ def _parser() -> argparse.ArgumentParser:
                        help="prime the start-point stack with statically "
                             "computed region seeds")
 
+    def observed_args(cmd: argparse.ArgumentParser) -> None:
+        cmd.add_argument("benchmark", choices=SPEC95_NAMES)
+        cmd.add_argument("--tc", type=int, default=256,
+                         help="trace cache entries")
+        cmd.add_argument("--pb", type=int, default=256,
+                         help="preconstruction buffer entries (0 = none)")
+        cmd.add_argument("--static-seed", action="store_true",
+                         help="prime the start-point stack with statically "
+                              "computed region seeds")
+        cmd.add_argument("--bucket-cycles", type=int, default=1024,
+                         help="interval-metrics bucket width in cycles")
+
+    stats = sub.add_parser(
+        "stats", help="run one observed point: counter summary, interval "
+                      "metrics and histograms")
+    observed_args(stats)
+    stats.add_argument("--json", action="store_true",
+                       help="emit metrics + histograms as JSON")
+
+    trace = sub.add_parser(
+        "trace", help="run one observed point and export a Chrome/Perfetto "
+                      "trace of the engine timeline")
+    observed_args(trace)
+    trace.add_argument("--out", default="trace.json", metavar="PATH",
+                       help="Perfetto trace-event JSON output "
+                            "(default: trace.json)")
+    trace.add_argument("--events", default=None, metavar="PATH",
+                       help="also write the raw event stream as JSONL")
+    trace.add_argument("--metrics", default=None, metavar="PATH",
+                       help="also write interval metrics as JSONL")
+
     for name, helptext in (
             ("figure5", "miss rate vs combined TC+PB size"),
             ("tables", "Tables 1-3: I-cache traffic"),
@@ -113,6 +161,9 @@ def _parser() -> argparse.ArgumentParser:
                          default=None,
                          help="restrict the exhibit to these benchmarks "
                               "(intersected with its default set)")
+        cmd.add_argument("--stats-json", default=None, metavar="PATH",
+                         help="dump every point's raw counter summary "
+                              "as JSON")
 
     allcmd = sub.add_parser(
         "all", help="regenerate every paper exhibit in one scheduler pass")
@@ -124,6 +175,9 @@ def _parser() -> argparse.ArgumentParser:
                              "(intersected with each exhibit's default set)")
     allcmd.add_argument("--timing-report", default=None, metavar="PATH",
                         help="write the scheduler timing report as JSON")
+    allcmd.add_argument("--stats-json", default=None, metavar="PATH",
+                        help="dump every point's raw counter summary "
+                             "as JSON")
 
     bench = sub.add_parser(
         "bench", help="time the hot path cold against the seeded baseline")
@@ -137,6 +191,13 @@ def _parser() -> argparse.ArgumentParser:
                        metavar="PATH",
                        help="where to write the JSON report "
                             "(default: BENCH_hotpath.json)")
+    bench.add_argument("--check", default=None, metavar="PATH",
+                       help="compare against a pinned bench report and "
+                            "fail if any section regresses past "
+                            "--tolerance")
+    bench.add_argument("--tolerance", type=float, default=0.5,
+                       help="allowed fractional slowdown vs the --check "
+                            "reference (default: 0.5 = +50%%)")
 
     cachecmd = sub.add_parser("cache", help="inspect the result cache")
     cachecmd.add_argument("--clear", action="store_true",
@@ -269,19 +330,92 @@ def _run_exhibits(args, instructions: int) -> int:
         print(render(lookup))
     if args.command in ("figure5", "all"):
         print()
+    stats_json = getattr(args, "stats_json", None)
+    if stats_json:
+        rows = [{"spec": spec.to_dict(), "label": spec.label,
+                 "metrics": result.metrics}
+                for spec, result in lookup.items()]
+        Path(stats_json).write_text(
+            json.dumps(rows, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {len(rows)} point summaries to {stats_json}",
+              file=sys.stderr)
+    if result_cache is not None:
+        result_cache.record_last_run(args.command,
+                                     runner.report.to_dict())
     if args.command == "all":
         report = runner.report
         if args.timing_report:
-            from pathlib import Path
-
             Path(args.timing_report).write_text(report.to_json())
         print(f"repro all: {report.summary()}", file=sys.stderr)
     return 0
 
 
 # ----------------------------------------------------------------------
+def _observed_spec(args, instructions: int) -> ExperimentSpec:
+    return ExperimentSpec(benchmark=args.benchmark, tc_entries=args.tc,
+                          pb_entries=args.pb, static_seed=args.static_seed,
+                          instructions=instructions)
+
+
+def _run_stats(args, instructions: int) -> int:
+    from repro.obs import run_observed
+
+    observed = run_observed(_observed_spec(args, instructions),
+                            bucket_cycles=args.bucket_cycles)
+    if args.json:
+        payload = {
+            "manifest": observed.result.manifest,
+            "metrics": observed.result.metrics,
+            "summary": observed.stats.summary(),
+            "histograms": {h.name: h.to_dict()
+                           for h in observed.metrics.histograms()},
+            "intervals": observed.metrics.interval_rows(),
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    print(f"{observed.result.spec.label}  "
+          f"({len(observed.events)} events observed)")
+    for key, value in sorted(observed.stats.summary().items()):
+        print(f"  {key:32s} {value:12.3f}")
+    print("histograms:")
+    for hist in observed.metrics.histograms():
+        if not hist.total:
+            print(f"  {hist.name:24s} (empty)")
+            continue
+        print(f"  {hist.name:24s} n={hist.total:<8d} "
+              f"min={hist.min:<8d} mean={hist.mean:<10.2f} "
+              f"max={hist.max}")
+    return 0
+
+
+def _run_trace(args, instructions: int) -> int:
+    from repro.obs import run_observed, validate_chrome_trace
+
+    observed = run_observed(_observed_spec(args, instructions),
+                            bucket_cycles=args.bucket_cycles)
+    observed.write_perfetto(args.out)
+    trace = json.loads(Path(args.out).read_text())
+    problems = validate_chrome_trace(trace)
+    if problems:  # pragma: no cover - exporter bug guard
+        for problem in problems:
+            print(f"invalid trace event: {problem}", file=sys.stderr)
+        return 1
+    print(f"wrote {len(trace['traceEvents'])} trace events "
+          f"({len(observed.events)} observed) to {args.out}")
+    if args.events:
+        path = observed.write_events(args.events)
+        print(f"wrote {len(observed.events)} events to {path}")
+    if args.metrics:
+        path = observed.write_metrics(args.metrics)
+        print(f"wrote interval metrics to {path}")
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     args = _parser().parse_args(argv)
+    from repro.obs.log import configure_logging, level_from_args
+
+    configure_logging(level_from_args(args.verbose, args.log_level))
     if args.command == "list":
         for name in SPEC95_NAMES:
             print(name)
@@ -303,25 +437,62 @@ def main(argv: Sequence[str] | None = None) -> int:
         if args.clear:
             print(f"removed {cache.clear()} cached results from "
                   f"{cache.root}")
-        else:
-            entries = cache.entries()
-            total = sum(path.stat().st_size for path in entries)
-            print(f"cache root: {cache.root}")
-            print(f"entries:    {len(entries)}")
-            print(f"bytes:      {total}")
+            return 0
+        entries = cache.entries()
+        total = sum(path.stat().st_size for path in entries)
+        print(f"cache root: {cache.root}")
+        print(f"entries:    {len(entries)}")
+        print(f"bytes:      {total}")
+        for row in cache.entry_info():
+            if "error" in row:
+                detail = row["error"]
+            else:
+                detail = (f"{row['label']}  "
+                          f"v{row['package_version'] or '?'}  "
+                          f"{row['created_at'] or 'undated'}")
+            print(f"  {row['digest'][:12]}  {row['schema']:4s} "
+                  f"{row['size_bytes']:8d}B  {detail}")
+        last = cache.last_run()
+        if last:
+            print(f"last run:   {last['command']} at {last['recorded_at']} "
+                  f"— {last['requested']} requested, "
+                  f"{last['unique']} unique, "
+                  f"{last['cache_hits']} cache hits, "
+                  f"{last['executed']} executed, "
+                  f"{last['stores']} stored "
+                  f"({last['wall_seconds']:.2f}s)")
         return 0
 
     if args.command == "bench":
-        from repro.runner import format_bench, run_bench, write_bench_report
+        from repro.runner import (
+            check_bench,
+            format_bench,
+            run_bench,
+            write_bench_report,
+        )
 
         payload = run_bench(quick=args.quick, jobs=args.jobs,
                             progress=stderr_progress)
         path = write_bench_report(payload, args.output)
         print(format_bench(payload))
         print(f"report written to {path}", file=sys.stderr)
+        if args.check:
+            reference = json.loads(Path(args.check).read_text())
+            problems = check_bench(payload, reference,
+                                   tolerance=args.tolerance)
+            if problems:
+                for problem in problems:
+                    print(f"bench regression: {problem}", file=sys.stderr)
+                return 1
+            print(f"bench check vs {args.check}: "
+                  f"within +{args.tolerance:.0%}", file=sys.stderr)
         return 0
 
     instructions = resolve_instructions(args.instructions)
+    if args.command == "stats":
+        return _run_stats(args, instructions)
+    if args.command == "trace":
+        return _run_trace(args, instructions)
     if args.command == "point":
         spec = ExperimentSpec(benchmark=args.benchmark, tc_entries=args.tc,
                               pb_entries=args.pb,

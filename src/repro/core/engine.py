@@ -111,6 +111,9 @@ class PreconstructionEngine:
             TraceConstructor(image, icache, bimodal, self.selection,
                              cfg.constructor, decode_cache=decode_cache)
             for _ in range(cfg.num_constructors)]
+        for cid, constructor in enumerate(self.constructors):
+            constructor.cid = cid
+            constructor._obs_assigned = 0
         self._active_regions: list[Region] = []
         self._regions_by_seq: dict[int, Region] = {}
         self._next_seq = 0
@@ -128,7 +131,17 @@ class PreconstructionEngine:
         #: scanned once rather than once per dispatch.  Keyed by id();
         #: the stored trace reference pins the id.
         self._cue_memo: dict[int, tuple] = {}
+        #: Optional :class:`repro.obs.ObsBus`; ``None`` (the default)
+        #: keeps every instrumentation site a single dead branch, so
+        #: the event-driven hot path from the performance overhaul is
+        #: unchanged when observability is off.
+        self.obs = None
         self._refill_from_seeds()
+
+    def attach_obs(self, bus) -> None:
+        """Attach an event bus to the engine and its buffers."""
+        self.obs = bus
+        self.buffers.obs = bus
 
     # ------------------------------------------------------------------
     # Static seeding: prime the start-point stack from a precomputed
@@ -142,9 +155,14 @@ class PreconstructionEngine:
         batch: list[int] = []
         while self._static_seeds and len(batch) < self.config.start_stack_depth:
             batch.append(self._static_seeds.popleft())
+        offered = 0
         for start_pc in reversed(batch):
             if self.stack.push(start_pc):
-                self.stats.static_seeds_offered += 1
+                offered += 1
+        if offered:
+            self.stats.static_seeds_offered += offered
+            if self.obs:
+                self.obs.emit("engine", "static_seeds", count=offered)
 
     # ------------------------------------------------------------------
     # Region priority seen by the buffer replacement policy.
@@ -316,6 +334,9 @@ class PreconstructionEngine:
             self._active_regions.append(region)
             self._regions_by_seq[region.seq] = region
             self.stats.regions_started += 1
+            if self.obs:
+                self.obs.emit("engine", "region_spawn", region=region.seq,
+                              pc=start_pc)
 
     def _assign_constructors(self) -> None:
         """Hand free constructors start points, highest-priority region
@@ -332,7 +353,13 @@ class PreconstructionEngine:
                 point = region.pop_start_point()
                 if point is None:
                     break
-                idle.pop().assign(region, point)
+                constructor = idle.pop()
+                constructor.assign(region, point)
+                if self.obs:
+                    self.obs.emit("engine", "region_assign",
+                                  region=region.seq, cid=constructor.cid,
+                                  pc=point.pc)
+                    constructor._obs_assigned = self.obs.now
             if not idle:
                 break
         self._reap_regions()
@@ -341,7 +368,7 @@ class PreconstructionEngine:
                      result: StepResult) -> None:
         region = constructor.region
         if result.completed is not None:
-            self._install(region, result.completed)
+            self._install(region, result.completed, constructor)
         active = region.state is RegionState.ACTIVE
         if result.new_start_point is not None and active:
             region.push_start_point(result.new_start_point)
@@ -351,14 +378,29 @@ class PreconstructionEngine:
             self._finish_region(region)
             active = False
         if result.finished or not active:
+            if self.obs and constructor.region is not None:
+                self.obs.emit("engine", "constructor_release",
+                              cid=constructor.cid)
             constructor.release()
 
-    def _install(self, region: Region, trace: Trace) -> None:
+    def _install(self, region: Region, trace: Trace,
+                 constructor: Optional[TraceConstructor] = None) -> None:
         """Dedup then allocate a preconstruction buffer for ``trace``."""
         region.traces_built += 1
         self.stats.traces_constructed += 1
-        if (self.trace_cache.contains(trace.trace_id)
-                or self.buffers.contains(trace.trace_id)):
+        duplicate = (self.trace_cache.contains(trace.trace_id)
+                     or self.buffers.contains(trace.trace_id))
+        if self.obs:
+            now = self.obs.now
+            latency = (now - constructor._obs_assigned
+                       if constructor is not None else 0)
+            self.obs.emit("engine", "trace_constructed", region=region.seq,
+                          cid=(constructor.cid if constructor is not None
+                               else -1),
+                          pc=trace.trace_id.start_pc, len=len(trace),
+                          latency=latency, dup=duplicate)
+            self.obs.metrics.on_trace_constructed(now, latency)
+        if duplicate:
             self.stats.traces_duplicate += 1
             return
         if not self.buffers.insert(trace, region.seq):
@@ -374,12 +416,29 @@ class PreconstructionEngine:
         if abandoned:
             region.abandon()
             self.stats.regions_abandoned += 1
+            if self.obs:
+                self.obs.emit("engine", "region_abandon", region=region.seq,
+                              pc=region.start_pc, traces=region.traces_built)
         else:
             region.complete()
             self.stack.mark_completed(region.start_pc)
             self.stats.regions_completed += 1
+            if self.obs:
+                if region.fetch_bound_hit:
+                    reason = "fetch_bound"
+                elif (region.buffer_failures
+                      >= self.config.buffer_failure_limit):
+                    reason = "buffer_bound"
+                else:
+                    reason = "exhausted"
+                self.obs.emit("engine", "region_complete", region=region.seq,
+                              pc=region.start_pc, traces=region.traces_built,
+                              reason=reason)
         for constructor in self.constructors:
             if constructor.region is region:
+                if self.obs:
+                    self.obs.emit("engine", "constructor_release",
+                                  cid=constructor.cid)
                 constructor.release()
         self._active_regions.remove(region)
         self._free_prefetch.append(region.prefetch_cache)

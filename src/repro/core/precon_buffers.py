@@ -59,6 +59,9 @@ class PreconstructionBuffers:
         self._sets: list[dict[TraceID, _BufferLine]] = [
             {} for _ in range(self.num_sets)]
         self.stats = PreconBufferStats()
+        #: Optional :class:`repro.obs.ObsBus` (attached by the engine);
+        #: ``None`` keeps every site a single dead branch.
+        self.obs = None
 
     # ------------------------------------------------------------------
     @property
@@ -73,6 +76,8 @@ class PreconstructionBuffers:
         """Parallel probe with the trace cache (counted, non-destructive)."""
         self.stats.probes += 1
         line = self._set_for(trace_id).get(trace_id)
+        if self.obs:
+            self.obs.emit("buffers", "probe", hit=line is not None)
         if line is None:
             return None
         self.stats.hits += 1
@@ -88,6 +93,8 @@ class PreconstructionBuffers:
         if line is None:
             return None
         self.stats.invalidations += 1
+        if self.obs:
+            self.obs.emit("buffers", "take", occupancy=self.occupancy())
         return line.trace
 
     # ------------------------------------------------------------------
@@ -105,6 +112,9 @@ class PreconstructionBuffers:
         if len(target_set) < self.ways:
             target_set[trace.trace_id] = _BufferLine(trace, region_seq)
             self.stats.inserts += 1
+            if self.obs:
+                self.obs.emit("buffers", "insert", region=region_seq,
+                              displaced=False, occupancy=self.occupancy())
             return True
         # Full set: evict the lowest-priority line not owned by us.
         candidates = [(self.priority_fn(line.region_seq), tid)
@@ -112,12 +122,17 @@ class PreconstructionBuffers:
                       if line.region_seq != region_seq]
         if not candidates:
             self.stats.insert_failures += 1
+            if self.obs:
+                self.obs.emit("buffers", "insert_fail", region=region_seq)
             return False
         _, victim = min(candidates, key=lambda candidate: candidate[0])
         del target_set[victim]
         target_set[trace.trace_id] = _BufferLine(trace, region_seq)
         self.stats.inserts += 1
         self.stats.displaced += 1
+        if self.obs:
+            self.obs.emit("buffers", "insert", region=region_seq,
+                          displaced=True, occupancy=self.occupancy())
         return True
 
     # ------------------------------------------------------------------

@@ -1,0 +1,79 @@
+"""The cycle-domain event bus.
+
+One :class:`ObsBus` is shared by every instrumented component of a
+frontend simulation.  The frontend runner owns the clock: it sets
+:attr:`ObsBus.now` to the frontend cycle count before driving the
+engine, so events from the engine, the preconstruction buffers and the
+trace cache are all stamped in the same cycle domain as the frontend's
+own events.  Each record additionally carries a monotonically
+increasing sequence number, making the total event order explicit even
+when many events share one cycle (everything that happens while the
+processor drains one trace is stamped at that trace's fetch cycle).
+
+Record shape::
+
+    {"seq": 17, "cycle": 412, "source": "engine",
+     "event": "region_spawn", "region": 3, "pc": 4096}
+
+Instrumented components hold the bus as ``self.obs`` (``None`` by
+default) and guard every site with ``if self.obs:`` — a single
+attribute load and branch, so the PR-3 hot path is unchanged when
+observability is off.
+
+Event taxonomy (source → events):
+
+* ``frontend`` — ``trace_hit`` / ``trace_miss`` (per dispatched
+  trace), ``idle_burst_start`` / ``idle_burst_end`` (the idle
+  slow-path spans that fund preconstruction);
+* ``engine`` — ``region_spawn``, ``region_assign``,
+  ``region_complete`` (``reason`` ∈ exhausted/fetch_bound/
+  buffer_bound), ``region_abandon``, ``constructor_release``,
+  ``trace_constructed`` (``dup`` marks dedup discards),
+  ``static_seeds``;
+* ``buffers`` — ``probe`` (``hit`` 0/1), ``insert`` (``displaced``
+  0/1, post-insert ``occupancy``), ``insert_fail``, ``take``;
+* ``trace_cache`` — ``fill``, ``evict``.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Optional
+
+from repro.obs.sinks import EventSink, NullSink
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs.metrics import IntervalMetrics
+
+
+class ObsBus:
+    """Cycle-stamped structured event emitter.
+
+    ``sink`` receives every record; ``metrics`` (always present) is
+    the :class:`~repro.obs.metrics.IntervalMetrics` collector the
+    instrumentation sites feed directly for bucketed counters and
+    histograms.
+    """
+
+    __slots__ = ("sink", "metrics", "now", "seq")
+
+    def __init__(self, sink: Optional[EventSink] = None,
+                 metrics: Optional["IntervalMetrics"] = None) -> None:
+        from repro.obs.metrics import IntervalMetrics
+
+        self.sink = sink if sink is not None else NullSink()
+        self.metrics = metrics if metrics is not None else IntervalMetrics()
+        #: Current cycle; advanced by the clock owner (frontend runner).
+        self.now = 0
+        #: Total-order sequence number of the last emitted record.
+        self.seq = 0
+
+    def emit(self, source: str, event: str, **fields: Any) -> None:
+        """Deliver one record to the sink, stamped ``(seq, now)``."""
+        self.seq += 1
+        record: dict[str, Any] = {"seq": self.seq, "cycle": self.now,
+                                  "source": source, "event": event}
+        record.update(fields)
+        self.sink.emit(record)
+
+    def close(self) -> None:
+        self.sink.close()

@@ -1,0 +1,86 @@
+"""Stdlib logging integration.
+
+The codebase historically had no ``logging`` at all — recoverable
+problems (a corrupted result-cache entry, say) were swallowed
+silently.  This module is the one place logging is configured:
+
+* :func:`get_logger` returns a namespaced logger
+  (``repro.<subsystem>``), so ``--log-level`` filtering and any
+  downstream handler configuration applies uniformly;
+* :func:`configure_logging` installs a single stderr handler on the
+  ``repro`` root logger (idempotent — repeated calls re-level the
+  existing handler rather than stacking duplicates);
+* :func:`level_from_args` maps the CLI's ``-v`` counts and
+  ``--log-level`` name to a numeric level (explicit name wins).
+
+Library code must call :func:`get_logger` only; configuration is the
+CLI's (or the embedding application's) job.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import Optional
+
+#: Root logger name: every subsystem logger hangs below it.
+ROOT_LOGGER = "repro"
+
+#: Accepted ``--log-level`` names, mapped to stdlib levels.
+LEVELS = {
+    "debug": logging.DEBUG,
+    "info": logging.INFO,
+    "warning": logging.WARNING,
+    "error": logging.ERROR,
+    "critical": logging.CRITICAL,
+}
+
+_FORMAT = "%(levelname)s %(name)s: %(message)s"
+_HANDLER_FLAG = "_repro_obs_handler"
+
+
+def get_logger(subsystem: str) -> logging.Logger:
+    """Named logger for one subsystem, e.g. ``get_logger("runner.cache")``."""
+    if subsystem.startswith(ROOT_LOGGER):
+        return logging.getLogger(subsystem)
+    return logging.getLogger(f"{ROOT_LOGGER}.{subsystem}")
+
+
+def level_from_args(verbosity: int = 0,
+                    log_level: Optional[str] = None) -> int:
+    """Resolve ``-v`` counts / ``--log-level`` into a numeric level.
+
+    An explicit ``--log-level`` wins; otherwise ``-v`` means INFO and
+    ``-vv`` (or more) means DEBUG; the default is WARNING.
+    """
+    if log_level is not None:
+        try:
+            return LEVELS[log_level.lower()]
+        except KeyError:
+            raise ValueError(f"unknown log level {log_level!r}; "
+                             f"choose from {sorted(LEVELS)}") from None
+    if verbosity >= 2:
+        return logging.DEBUG
+    if verbosity == 1:
+        return logging.INFO
+    return logging.WARNING
+
+
+def configure_logging(level: int | str = logging.WARNING,
+                      stream=None) -> logging.Logger:
+    """Install (or re-level) the single ``repro`` stderr handler."""
+    if isinstance(level, str):
+        level = level_from_args(log_level=level)
+    root = logging.getLogger(ROOT_LOGGER)
+    root.setLevel(level)
+    handler = next((h for h in root.handlers
+                    if getattr(h, _HANDLER_FLAG, False)), None)
+    if handler is None:
+        handler = logging.StreamHandler(stream or sys.stderr)
+        handler.setFormatter(logging.Formatter(_FORMAT))
+        setattr(handler, _HANDLER_FLAG, True)
+        root.addHandler(handler)
+    elif stream is not None:
+        handler.setStream(stream)
+    handler.setLevel(level)
+    return root

@@ -1,0 +1,183 @@
+"""Interval metrics: bucketed time series and event-fed histograms.
+
+End-of-run aggregates (``FrontendStats``) say *whether* preconstruction
+won; these say *when*.  :class:`IntervalMetrics` buckets the Figure-5
+counters over fixed-width cycle windows and accumulates four
+histograms the paper's argument leans on:
+
+* **trace_length** — instructions per dispatched trace;
+* **construction_latency** — frontend cycles between a constructor
+  being assigned a start point and a trace completing from it
+  (0 = built within a single idle burst);
+* **buffer_occupancy** — preconstruction-buffer residency sampled at
+  each bucket boundary;
+* **idle_burst_length** — the idle slow-path spans that fund
+  construction.
+
+Everything is integer-keyed and insertion-independent when serialised
+(keys are sorted), so the ``metrics.jsonl`` output is deterministic
+for a deterministic event stream.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Optional
+
+#: Default bucket width (cycles) for the interval time series.
+DEFAULT_BUCKET_CYCLES = 1024
+
+
+class Histogram:
+    """Exact integer-valued histogram (value -> count)."""
+
+    __slots__ = ("name", "counts", "total")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.counts: dict[int, int] = {}
+        self.total = 0
+
+    def add(self, value: int, count: int = 1) -> None:
+        self.counts[value] = self.counts.get(value, 0) + count
+        self.total += count
+
+    @property
+    def count(self) -> int:
+        return self.total
+
+    @property
+    def min(self) -> Optional[int]:
+        return min(self.counts) if self.counts else None
+
+    @property
+    def max(self) -> Optional[int]:
+        return max(self.counts) if self.counts else None
+
+    @property
+    def mean(self) -> Optional[float]:
+        if not self.total:
+            return None
+        weighted = sum(value * count for value, count in self.counts.items())
+        return weighted / self.total
+
+    def to_dict(self) -> dict[str, Any]:
+        """Deterministic summary + full counts (string keys, sorted)."""
+        return {
+            "name": self.name,
+            "count": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+            "counts": {str(value): self.counts[value]
+                       for value in sorted(self.counts)},
+        }
+
+
+#: Per-bucket counter names, in serialisation order.
+BUCKET_COUNTERS = ("traces", "instructions", "trace_hits", "trace_misses",
+                   "buffer_hits", "idle_cycles", "traces_constructed")
+
+
+class IntervalMetrics:
+    """Bucketed Figure-5 counters + the four paper histograms."""
+
+    def __init__(self,
+                 bucket_cycles: int = DEFAULT_BUCKET_CYCLES) -> None:
+        if bucket_cycles <= 0:
+            raise ValueError("bucket_cycles must be positive")
+        self.bucket_cycles = bucket_cycles
+        self._buckets: dict[int, dict[str, int]] = {}
+        self.trace_length = Histogram("trace_length")
+        self.construction_latency = Histogram("construction_latency")
+        self.buffer_occupancy = Histogram("buffer_occupancy")
+        self.idle_burst_length = Histogram("idle_burst_length")
+
+    # ------------------------------------------------------------------
+    def _bucket(self, cycle: int) -> dict[str, int]:
+        index = cycle // self.bucket_cycles
+        bucket = self._buckets.get(index)
+        if bucket is None:
+            bucket = dict.fromkeys(BUCKET_COUNTERS, 0)
+            self._buckets[index] = bucket
+        return bucket
+
+    # ------------------------------------------------------------------
+    # Feed points (called from instrumentation sites, obs-enabled only)
+    # ------------------------------------------------------------------
+    def on_trace(self, cycle: int, length: int, hit: bool,
+                 buffer_hit: bool) -> None:
+        bucket = self._bucket(cycle)
+        bucket["traces"] += 1
+        bucket["instructions"] += length
+        if hit:
+            bucket["trace_hits"] += 1
+            if buffer_hit:
+                bucket["buffer_hits"] += 1
+        else:
+            bucket["trace_misses"] += 1
+        self.trace_length.add(length)
+
+    def on_idle_burst(self, cycle: int, length: int) -> None:
+        self._bucket(cycle)["idle_cycles"] += length
+        self.idle_burst_length.add(length)
+
+    def on_trace_constructed(self, cycle: int, latency: int) -> None:
+        self._bucket(cycle)["traces_constructed"] += 1
+        self.construction_latency.add(latency)
+
+    def on_buffer_occupancy(self, occupancy: int) -> None:
+        self.buffer_occupancy.add(occupancy)
+
+    # ------------------------------------------------------------------
+    # Serialisation
+    # ------------------------------------------------------------------
+    def interval_rows(self) -> list[dict[str, Any]]:
+        """One row per non-empty bucket, in cycle order, with the
+        Figure-5 derived rate (trace misses per 1000 instructions)."""
+        rows = []
+        for index in sorted(self._buckets):
+            bucket = self._buckets[index]
+            row: dict[str, Any] = {
+                "type": "interval",
+                "bucket": index,
+                "start_cycle": index * self.bucket_cycles,
+                "end_cycle": (index + 1) * self.bucket_cycles,
+            }
+            row.update(bucket)
+            instructions = bucket["instructions"]
+            row["trace_misses_per_ki"] = (
+                1000.0 * bucket["trace_misses"] / instructions
+                if instructions else 0.0)
+            rows.append(row)
+        return rows
+
+    def histograms(self) -> list[Histogram]:
+        return [self.trace_length, self.construction_latency,
+                self.buffer_occupancy, self.idle_burst_length]
+
+    def histogram_rows(self) -> list[dict[str, Any]]:
+        return [{"type": "histogram", **hist.to_dict()}
+                for hist in self.histograms()]
+
+    def rows(self) -> list[dict[str, Any]]:
+        """All ``metrics.jsonl`` rows: header, intervals, histograms."""
+        header = {"type": "meta", "bucket_cycles": self.bucket_cycles,
+                  "buckets": len(self._buckets)}
+        return [header, *self.interval_rows(), *self.histogram_rows()]
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"bucket_cycles": self.bucket_cycles,
+                "intervals": self.interval_rows(),
+                "histograms": [h.to_dict() for h in self.histograms()]}
+
+    def write_jsonl(self, path: str | Path) -> Path:
+        """Write the canonical ``metrics.jsonl`` (sorted keys, compact)."""
+        target = Path(path)
+        with target.open("w", encoding="utf-8") as fh:
+            for row in self.rows():
+                fh.write(json.dumps(row, sort_keys=True,
+                                    separators=(",", ":")))
+                fh.write("\n")
+        return target

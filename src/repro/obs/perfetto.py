@@ -1,0 +1,251 @@
+"""Chrome/Perfetto trace-event export of an observed run.
+
+Converts the bus's event stream into the Chrome trace-event JSON
+format (the ``trace.json`` Perfetto and ``chrome://tracing`` load
+natively).  One simulated cycle maps to one microsecond of trace time.
+
+Track layout:
+
+* **frontend** (pid 1) — ``trace supply``: instant events per trace
+  miss (hits are the quiet default); ``idle``: one complete-slice per
+  idle burst, the spans that fund preconstruction;
+* **preconstruction** (pid 2) — ``regions``: one async span per region
+  from spawn to complete/abandon (named by start pc, ended with the
+  terminal reason); ``constructor N``: busy spans from assignment to
+  release, with instants for each constructed trace;
+* **storage** (pid 3) — ``buffer_occupancy`` counter samples from
+  buffer inserts/takes, plus instants for buffer probe misses and
+  trace-cache fills/evictions.
+
+Spans left open at end-of-run (a region still under construction, a
+constructor still assigned) are closed at the final timestamp so the
+exported file is always well-formed.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Iterable, Mapping
+
+PID_FRONTEND = 1
+PID_PRECON = 2
+PID_STORAGE = 3
+
+TID_TRACE_SUPPLY = 1
+TID_IDLE = 2
+TID_REGIONS = 1
+TID_CONSTRUCTOR_BASE = 10
+TID_BUFFERS = 1
+TID_TRACE_CACHE = 2
+
+_PROCESS_NAMES = {
+    PID_FRONTEND: "frontend",
+    PID_PRECON: "preconstruction",
+    PID_STORAGE: "storage",
+}
+_THREAD_NAMES = {
+    (PID_FRONTEND, TID_TRACE_SUPPLY): "trace supply",
+    (PID_FRONTEND, TID_IDLE): "idle",
+    (PID_PRECON, TID_REGIONS): "regions",
+    (PID_STORAGE, TID_BUFFERS): "buffers",
+    (PID_STORAGE, TID_TRACE_CACHE): "trace-cache",
+}
+
+
+def _metadata_events(constructor_ids: Iterable[int]) -> list[dict[str, Any]]:
+    events: list[dict[str, Any]] = []
+    for pid, name in sorted(_PROCESS_NAMES.items()):
+        events.append({"ph": "M", "pid": pid, "tid": 0, "ts": 0,
+                       "name": "process_name", "args": {"name": name}})
+    threads = dict(_THREAD_NAMES)
+    for cid in sorted(set(constructor_ids)):
+        threads[(PID_PRECON, TID_CONSTRUCTOR_BASE + cid)] = \
+            f"constructor {cid}"
+    for (pid, tid), name in sorted(threads.items()):
+        events.append({"ph": "M", "pid": pid, "tid": tid, "ts": 0,
+                       "name": "thread_name", "args": {"name": name}})
+    return events
+
+
+def perfetto_trace(events: Iterable[Mapping[str, Any]],
+                   *, label: str = "repro") -> dict[str, Any]:
+    """Build the Chrome trace-event payload for one event stream."""
+    out: list[dict[str, Any]] = []
+    constructor_ids: set[int] = set()
+    open_regions: dict[int, int] = {}       # region seq -> spawn ts
+    open_constructors: dict[int, int] = {}  # cid -> assign ts
+    idle_start: int | None = None
+    last_ts = 0
+
+    for record in events:
+        source = record["source"]
+        event = record["event"]
+        ts = record["cycle"]
+        last_ts = max(last_ts, ts)
+
+        if source == "frontend":
+            if event == "trace_miss":
+                out.append({"ph": "i", "pid": PID_FRONTEND,
+                            "tid": TID_TRACE_SUPPLY, "ts": ts, "s": "t",
+                            "name": "trace_miss",
+                            "args": {"pc": record.get("pc"),
+                                     "len": record.get("len")}})
+            elif event == "idle_burst_start":
+                idle_start = ts
+            elif event == "idle_burst_end" and idle_start is not None:
+                out.append({"ph": "X", "pid": PID_FRONTEND, "tid": TID_IDLE,
+                            "ts": idle_start, "dur": max(0, ts - idle_start),
+                            "name": "idle burst",
+                            "args": {"cycles": record.get("len")}})
+                idle_start = None
+        elif source == "engine":
+            if event == "region_spawn":
+                region = record["region"]
+                open_regions[region] = ts
+                out.append({"ph": "b", "cat": "region", "id": region,
+                            "pid": PID_PRECON, "tid": TID_REGIONS, "ts": ts,
+                            "name": f"region@{record['pc']:#x}",
+                            "args": {"region": region}})
+            elif event in ("region_complete", "region_abandon"):
+                region = record["region"]
+                start_ts = open_regions.pop(region, ts)
+                reason = record.get("reason", "abandoned")
+                out.append({"ph": "e", "cat": "region", "id": region,
+                            "pid": PID_PRECON, "tid": TID_REGIONS, "ts": ts,
+                            "name": f"region@{record['pc']:#x}",
+                            "args": {"region": region, "reason": reason,
+                                     "traces": record.get("traces", 0),
+                                     "lifetime": ts - start_ts}})
+            elif event == "region_assign":
+                cid = record["cid"]
+                constructor_ids.add(cid)
+                if cid in open_constructors:
+                    # Reassigned without an explicit release: close first.
+                    out.append({"ph": "E", "pid": PID_PRECON,
+                                "tid": TID_CONSTRUCTOR_BASE + cid, "ts": ts})
+                open_constructors[cid] = ts
+                out.append({"ph": "B", "pid": PID_PRECON,
+                            "tid": TID_CONSTRUCTOR_BASE + cid, "ts": ts,
+                            "name": f"build@{record['pc']:#x}",
+                            "args": {"region": record["region"]}})
+            elif event == "constructor_release":
+                cid = record["cid"]
+                if open_constructors.pop(cid, None) is not None:
+                    out.append({"ph": "E", "pid": PID_PRECON,
+                                "tid": TID_CONSTRUCTOR_BASE + cid, "ts": ts})
+            elif event == "trace_constructed":
+                cid = record.get("cid", 0)
+                constructor_ids.add(cid)
+                out.append({"ph": "i", "pid": PID_PRECON,
+                            "tid": TID_CONSTRUCTOR_BASE + cid, "ts": ts,
+                            "s": "t",
+                            "name": ("trace (dup)" if record.get("dup")
+                                     else "trace"),
+                            "args": {"pc": record.get("pc"),
+                                     "len": record.get("len"),
+                                     "latency": record.get("latency")}})
+        elif source == "buffers":
+            if event in ("insert", "take"):
+                out.append({"ph": "C", "pid": PID_STORAGE, "tid": TID_BUFFERS,
+                            "ts": ts, "name": "buffer_occupancy",
+                            "args": {"entries": record["occupancy"]}})
+            elif event == "probe" and not record.get("hit"):
+                out.append({"ph": "i", "pid": PID_STORAGE, "tid": TID_BUFFERS,
+                            "ts": ts, "s": "t", "name": "probe_miss",
+                            "args": {}})
+        elif source == "trace_cache":
+            if event in ("fill", "evict"):
+                out.append({"ph": "i", "pid": PID_STORAGE,
+                            "tid": TID_TRACE_CACHE, "ts": ts, "s": "t",
+                            "name": event,
+                            "args": {"pc": record.get("pc"),
+                                     "len": record.get("len")}})
+
+    # Close anything still open so the file is always well-formed.
+    for region, start_ts in sorted(open_regions.items()):
+        out.append({"ph": "e", "cat": "region", "id": region,
+                    "pid": PID_PRECON, "tid": TID_REGIONS, "ts": last_ts,
+                    "name": f"region#{region}",
+                    "args": {"region": region, "reason": "end_of_run",
+                             "lifetime": last_ts - start_ts}})
+    for cid in sorted(open_constructors):
+        out.append({"ph": "E", "pid": PID_PRECON,
+                    "tid": TID_CONSTRUCTOR_BASE + cid, "ts": last_ts})
+
+    return {
+        "displayTimeUnit": "ms",
+        "otherData": {"producer": label, "time_unit": "1 cycle = 1 us"},
+        "traceEvents": _metadata_events(constructor_ids) + out,
+    }
+
+
+def write_perfetto(events: Iterable[Mapping[str, Any]], path: str | Path,
+                   *, label: str = "repro") -> Path:
+    """Write the Perfetto/Chrome ``trace.json`` for ``events``."""
+    target = Path(path)
+    payload = perfetto_trace(events, label=label)
+    target.write_text(json.dumps(payload, sort_keys=True) + "\n",
+                      encoding="utf-8")
+    return target
+
+
+# ----------------------------------------------------------------------
+# Schema validation (used by tests and ``repro trace`` self-check)
+# ----------------------------------------------------------------------
+_KNOWN_PHASES = {"B", "E", "X", "i", "C", "M", "b", "e", "n"}
+
+
+def validate_chrome_trace(payload: Mapping[str, Any]) -> list[str]:
+    """Structural validation of a Chrome trace-event payload.
+
+    Returns a list of problems (empty = valid): required keys and
+    types per event, known phase codes, non-negative ``dur`` on
+    complete events, ids on async events, and balanced ``B``/``E``
+    begin/end nesting per (pid, tid) track.
+    """
+    problems: list[str] = []
+    events = payload.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents must be a list"]
+    depth: dict[tuple[int, int], int] = {}
+    for index, event in enumerate(events):
+        where = f"traceEvents[{index}]"
+        if not isinstance(event, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        ph = event.get("ph")
+        if ph not in _KNOWN_PHASES:
+            problems.append(f"{where}: unknown phase {ph!r}")
+            continue
+        for key in ("pid", "tid"):
+            if not isinstance(event.get(key), int):
+                problems.append(f"{where}: missing integer {key!r}")
+        if ph != "M":
+            ts = event.get("ts")
+            if not isinstance(ts, (int, float)) or ts < 0:
+                problems.append(f"{where}: missing non-negative 'ts'")
+        if ph != "E" and not isinstance(event.get("name"), str):
+            problems.append(f"{where}: missing string 'name'")
+        if ph == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                problems.append(f"{where}: 'X' needs non-negative 'dur'")
+        if ph in ("b", "e") and "id" not in event:
+            problems.append(f"{where}: async {ph!r} needs an 'id'")
+        if ph in ("B", "E"):
+            track = (event.get("pid"), event.get("tid"))
+            depth[track] = depth.get(track, 0) + (1 if ph == "B" else -1)
+            if depth[track] < 0:
+                problems.append(f"{where}: 'E' without matching 'B' "
+                                f"on track {track}")
+                depth[track] = 0
+    for track, open_count in sorted(depth.items()):
+        if open_count:
+            problems.append(f"track {track}: {open_count} unclosed 'B' "
+                            f"event(s)")
+    try:
+        json.dumps(payload)
+    except (TypeError, ValueError) as error:
+        problems.append(f"payload not JSON-serialisable: {error}")
+    return problems

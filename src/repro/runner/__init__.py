@@ -15,11 +15,17 @@
 
 from repro.runner.bench import (
     bench_sections,
+    check_bench,
     format_bench,
     run_bench,
     write_bench_report,
 )
-from repro.runner.cache import CACHE_DIR_ENV, ResultCache, default_cache_dir
+from repro.runner.cache import (
+    CACHE_DIR_ENV,
+    LAST_RUN_FILE,
+    ResultCache,
+    default_cache_dir,
+)
 from repro.runner.pool import (
     ExperimentRunner,
     StreamCache,
@@ -41,8 +47,9 @@ from repro.runner.spec import (
 )
 
 __all__ = [
-    "bench_sections", "format_bench", "run_bench", "write_bench_report",
-    "CACHE_DIR_ENV", "ResultCache", "default_cache_dir",
+    "bench_sections", "check_bench", "format_bench", "run_bench",
+    "write_bench_report",
+    "CACHE_DIR_ENV", "LAST_RUN_FILE", "ResultCache", "default_cache_dir",
     "ExperimentRunner", "StreamCache", "TimingReport", "execute_spec",
     "run_point", "stderr_progress", "sweep",
     "DEFAULT_INSTRUCTIONS", "KINDS", "SPEC_SCHEMA_VERSION",

@@ -119,6 +119,41 @@ def write_bench_report(payload: dict[str, Any],
     return target
 
 
+def check_bench(payload: dict[str, Any], reference: dict[str, Any],
+                tolerance: float = 0.5) -> list[str]:
+    """Compare a fresh bench payload against a pinned reference report.
+
+    The observability PR's guard-rail: with instrumentation off (the
+    default), each section's wall time must stay within ``tolerance``
+    (fractional, e.g. ``0.5`` = +50%) of the reference's recorded
+    ``current_seconds``.  Returns a list of violations (empty = pass).
+    Sections missing from either side are reported, not ignored.
+    """
+    if tolerance < 0:
+        raise ValueError("tolerance must be non-negative")
+    problems: list[str] = []
+    if payload.get("mode") != reference.get("mode"):
+        problems.append(f"mode mismatch: ran {payload.get('mode')!r}, "
+                        f"reference is {reference.get('mode')!r}")
+        return problems
+    ref_sections = reference.get("sections", {})
+    for name, ref in ref_sections.items():
+        section = payload["sections"].get(name)
+        if section is None:
+            problems.append(f"section {name!r} missing from this run")
+            continue
+        limit = ref["current_seconds"] * (1.0 + tolerance)
+        if section["current_seconds"] > limit:
+            problems.append(
+                f"{name}: {section['current_seconds']:.2f}s exceeds "
+                f"{ref['current_seconds']:.2f}s "
+                f"+{tolerance:.0%} ({limit:.2f}s)")
+    for name in payload.get("sections", {}):
+        if name not in ref_sections:
+            problems.append(f"section {name!r} has no reference baseline")
+    return problems
+
+
 def format_bench(payload: dict[str, Any]) -> str:
     """Human-readable one-block summary of a bench payload."""
     lines = [f"repro bench ({payload['mode']}, jobs={payload['jobs']}, "

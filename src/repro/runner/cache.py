@@ -19,14 +19,22 @@ from __future__ import annotations
 
 import json
 import os
+import time
 from pathlib import Path
-from typing import Optional
+from typing import Any, Optional
 
+from repro.obs.log import get_logger
 from repro.runner.spec import SPEC_SCHEMA_VERSION, ExperimentSpec, RunResult
 
 #: Environment override for the cache root (used by tests and CI to
 #: keep runs hermetic).
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: File (under the cache root) recording the most recent scheduler
+#: pass's hit/miss tally — what ``repro cache`` reports.
+LAST_RUN_FILE = "last_run.json"
+
+log = get_logger("runner.cache")
 
 
 def default_cache_dir() -> Path:
@@ -63,11 +71,24 @@ class ResultCache:
         """The cached result for ``spec``, or ``None``.
 
         Any failure mode — missing file, unreadable file, malformed
-        JSON, schema/digest mismatch — is a miss, never an error.
+        JSON, schema/digest mismatch — is a miss, never an error.  A
+        *corrupted* entry (the file exists but cannot be trusted) is
+        additionally reported through the ``repro.runner.cache``
+        logger, since the silent-recovery path hides real damage.
         """
         path = self.path_for(spec)
         try:
-            payload = json.loads(path.read_text())
+            text = path.read_text()
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except OSError as error:
+            log.warning("unreadable result-cache entry %s (%s); "
+                        "recomputing", path.name, error)
+            self.misses += 1
+            return None
+        try:
+            payload = json.loads(text)
             if payload.get("schema") != self.schema_version:
                 raise ValueError("schema mismatch")
             if payload.get("digest") != spec.digest(self.schema_version):
@@ -75,7 +96,9 @@ class ResultCache:
             result = RunResult.from_dict(payload, cached=True)
             if result.spec != spec:
                 raise ValueError("spec mismatch")
-        except (OSError, ValueError, KeyError, TypeError):
+        except (ValueError, KeyError, TypeError) as error:
+            log.warning("corrupted result-cache entry %s (%s); recomputing",
+                        path.name, error)
             self.misses += 1
             return None
         self.hits += 1
@@ -100,6 +123,66 @@ class ResultCache:
         if not self.root.is_dir():
             return []
         return sorted(self.root.glob("v*/*.json"))
+
+    def entry_info(self) -> list[dict[str, Any]]:
+        """Per-entry manifest summary, in :meth:`entries` order.
+
+        Each row carries the entry's spec digest (file stem), schema
+        version (directory), size, and — when the stored payload has a
+        manifest — the spec label, package version and creation time.
+        Unreadable entries are reported with an ``error`` field rather
+        than skipped, so damage is visible in ``repro cache`` output.
+        """
+        rows: list[dict[str, Any]] = []
+        for path in self.entries():
+            row: dict[str, Any] = {
+                "digest": path.stem,
+                "schema": path.parent.name,
+                "size_bytes": path.stat().st_size,
+            }
+            try:
+                payload = json.loads(path.read_text())
+                result = RunResult.from_dict(payload, cached=True)
+            except (OSError, ValueError, KeyError, TypeError) as error:
+                row["error"] = f"unreadable ({type(error).__name__})"
+            else:
+                row["label"] = result.spec.label
+                manifest = result.manifest or {}
+                row["package_version"] = manifest.get("package_version")
+                row["created_at"] = manifest.get("created_at")
+            rows.append(row)
+        return rows
+
+    # ------------------------------------------------------------------
+    def record_last_run(self, command: str,
+                        report: dict[str, Any]) -> Path:
+        """Persist the tally of the scheduler pass that just finished
+        (``repro cache`` reports it).  ``report`` is a
+        :meth:`~repro.runner.pool.TimingReport.to_dict` payload."""
+        path = self.root / LAST_RUN_FILE
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "command": command,
+            "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S%z",
+                                         time.localtime()),
+            "requested": report.get("requested", 0),
+            "unique": report.get("unique", 0),
+            "executed": report.get("executed", 0),
+            "cache_hits": report.get("cache_hits", 0),
+            "stores": self.stores,
+            "wall_seconds": report.get("wall_seconds", 0.0),
+        }
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(json.dumps(payload, indent=2))
+        tmp.replace(path)
+        return path
+
+    def last_run(self) -> Optional[dict[str, Any]]:
+        """The most recent :meth:`record_last_run` payload, if any."""
+        try:
+            return json.loads((self.root / LAST_RUN_FILE).read_text())
+        except (OSError, ValueError):
+            return None
 
     def clear(self) -> int:
         """Delete every stored entry; returns the number removed."""

@@ -32,6 +32,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Optional, Sequence
 
 from repro.engine import FunctionalEngine, StreamRecord
+from repro.obs.manifest import build_manifest
 from repro.processor import run_processor
 from repro.runner.cache import ResultCache
 from repro.runner.spec import ExperimentSpec, RunResult, resolve_instructions
@@ -145,7 +146,8 @@ def execute_spec(spec: ExperimentSpec,
             "epoch_miss_rates": [event.epoch_miss_rate for event in events],
         }
     return RunResult(spec=spec, metrics=metrics,
-                     wall_seconds=time.perf_counter() - started)
+                     wall_seconds=time.perf_counter() - started,
+                     manifest=build_manifest(spec))
 
 
 def run_point(spec: ExperimentSpec, *,

@@ -190,21 +190,35 @@ class RunResult:
     lists for the dynamic-partition trajectory), so a result round-trips
     through the on-disk cache bit-exactly: ``json`` preserves ints and
     emits shortest round-trip reprs for floats.
+
+    ``manifest`` is the provenance record
+    (:func:`repro.obs.manifest.build_manifest`): spec digest, schema
+    and package versions, seed and host info.  It is carried through
+    the on-disk cache but is *not* part of result identity — entries
+    produced on other hosts or package versions under the same schema
+    still hit.
     """
 
     spec: ExperimentSpec
     metrics: dict[str, Any]
     wall_seconds: float = 0.0
     cached: bool = False
+    manifest: Optional[dict[str, Any]] = None
 
     def to_dict(self) -> dict[str, Any]:
-        return {"spec": self.spec.to_dict(), "metrics": dict(self.metrics),
-                "wall_seconds": self.wall_seconds}
+        payload: dict[str, Any] = {
+            "spec": self.spec.to_dict(), "metrics": dict(self.metrics),
+            "wall_seconds": self.wall_seconds}
+        if self.manifest is not None:
+            payload["manifest"] = dict(self.manifest)
+        return payload
 
     @classmethod
     def from_dict(cls, payload: Mapping[str, Any], *,
                   cached: bool = False) -> "RunResult":
+        manifest = payload.get("manifest")
         return cls(spec=ExperimentSpec.from_dict(payload["spec"]),
                    metrics=dict(payload["metrics"]),
                    wall_seconds=float(payload.get("wall_seconds", 0.0)),
-                   cached=cached)
+                   cached=cached,
+                   manifest=dict(manifest) if manifest else None)

@@ -65,12 +65,22 @@ class FrontendResult:
 class FrontendSimulation:
     """Reusable frontend simulator; feed it one stream via :meth:`run`."""
 
-    def __init__(self, image: ProgramImage, config: FrontendConfig) -> None:
+    def __init__(self, image: ProgramImage, config: FrontendConfig,
+                 obs=None) -> None:
         self.image = image
         self.config = config
         self.stats = FrontendStats()
+        #: Optional :class:`repro.obs.ObsBus`.  The runner owns the
+        #: event clock: it advances ``obs.now`` to the frontend cycle
+        #: count, so engine/buffer/trace-cache events share one cycle
+        #: domain.  ``None`` (the default) keeps every site a single
+        #: dead branch on the hot path.
+        self.obs = obs
+        self._obs_bucket = -1
         self.icache = InstructionCache(config.icache)
         self.trace_cache = TraceCache(config.trace_cache)
+        if obs is not None:
+            self.trace_cache.obs = obs
         self.bimodal = BimodalPredictor(entries=config.bimodal_entries)
         self.predictor: NextTracePredictor = NextTracePredictor(
             config.predictor)
@@ -96,6 +106,8 @@ class FrontendSimulation:
                 config=config.preconstruction,
                 selection=config.selection,
                 static_seeds=static_seeds)
+            if obs is not None:
+                self.precon.attach_obs(obs)
 
     # ------------------------------------------------------------------
     def run(self, stream: Iterable[StreamRecord],
@@ -130,6 +142,9 @@ class FrontendSimulation:
     def _process_trace(self, actual: Trace) -> None:
         stats = self.stats
         config = self.config
+        obs = self.obs
+        if obs:
+            obs.now = stats.cycles
         stats.traces += 1
         stats.instructions += len(actual)
 
@@ -137,10 +152,12 @@ class FrontendSimulation:
         predicted_ok = predicted == actual.trace_id
 
         present = self.trace_cache.lookup(actual.trace_id) is not None
+        buffer_hit = False
         if not present and self.precon is not None:
-            present = self.precon.probe_and_promote(
+            buffer_hit = self.precon.probe_and_promote(
                 actual.trace_id) is not None
-            if present:
+            if buffer_hit:
+                present = True
                 stats.buffer_hits += 1
 
         idle_cycles = 0
@@ -167,12 +184,38 @@ class FrontendSimulation:
             stats.trace_misses += 1
             cycles += self._slow_path_fetch(actual)
 
+        if obs:
+            pc = actual.trace_id.start_pc
+            if present:
+                obs.emit("frontend", "trace_hit", pc=pc, len=len(actual),
+                         buffer=buffer_hit)
+            else:
+                obs.emit("frontend", "trace_miss", pc=pc, len=len(actual))
+            obs.metrics.on_trace(obs.now, len(actual), present, buffer_hit)
+
         stats.cycles += cycles
         if self.precon is not None:
             stats.idle_cycles += idle_cycles
             self.precon.observe_dispatch(actual)
             if idle_cycles:
+                if obs:
+                    # The idle span is the tail of this trace's cycles:
+                    # stamp engine work at the burst start so region /
+                    # construction events land inside the burst slice.
+                    obs.now = stats.cycles - idle_cycles
+                    obs.emit("frontend", "idle_burst_start",
+                             len=idle_cycles)
+                    obs.metrics.on_idle_burst(obs.now, idle_cycles)
                 self.precon.tick(idle_cycles)
+                if obs:
+                    obs.now = stats.cycles
+                    obs.emit("frontend", "idle_burst_end", len=idle_cycles)
+            if obs:
+                bucket = stats.cycles // obs.metrics.bucket_cycles
+                if bucket != self._obs_bucket:
+                    self._obs_bucket = bucket
+                    obs.metrics.on_buffer_occupancy(
+                        self.precon.buffers.occupancy())
 
         self._train_predictors(actual, predicted)
 
@@ -261,15 +304,17 @@ class FrontendSimulation:
 def run_frontend(image: ProgramImage, config: FrontendConfig,
                  max_instructions: int,
                  stream: Optional[list[StreamRecord]] = None,
-                 traces: Optional[list[Trace]] = None
-                 ) -> FrontendResult:
+                 traces: Optional[list[Trace]] = None,
+                 obs=None) -> FrontendResult:
     """Convenience wrapper: execute ``image`` functionally (or reuse a
     precomputed ``stream`` / its trace partition ``traces``) and replay
-    it through the frontend."""
+    it through the frontend.  ``obs`` attaches an event bus
+    (:class:`repro.obs.ObsBus`) for cycle-domain tracing."""
     if traces is not None:
-        return FrontendSimulation(image, config).run((), traces=traces)
+        return FrontendSimulation(image, config, obs=obs).run(
+            (), traces=traces)
     if stream is None:
         stream = FunctionalEngine(image).run(max_instructions)
     else:
         stream = stream[:max_instructions]
-    return FrontendSimulation(image, config).run(stream)
+    return FrontendSimulation(image, config, obs=obs).run(stream)

@@ -51,6 +51,9 @@ class TraceCache:
 
     def __init__(self, config: TraceCacheConfig | None = None) -> None:
         self.config = config or TraceCacheConfig()
+        #: Optional :class:`repro.obs.ObsBus`; ``None`` (the default)
+        #: keeps every instrumentation site a single dead branch.
+        self.obs = None
         self._store: SetAssociativeCache[TraceID, Trace] = \
             SetAssociativeCache(
                 num_sets=self.config.num_sets,
@@ -72,6 +75,13 @@ class TraceCache:
     def insert(self, trace: Trace) -> Optional[Trace]:
         """Install a trace; returns the evicted trace, if any."""
         evicted = self._store.insert(trace.trace_id, trace)
+        if self.obs:
+            self.obs.emit("trace_cache", "fill",
+                          pc=trace.trace_id.start_pc, len=len(trace))
+            if evicted:
+                victim = evicted[1]
+                self.obs.emit("trace_cache", "evict",
+                              pc=victim.trace_id.start_pc, len=len(victim))
         return evicted[1] if evicted else None
 
     def invalidate(self, trace_id: TraceID) -> bool:

@@ -134,3 +134,117 @@ class TestRunnerCLI:
         assert "removed" in capsys.readouterr().out
         assert main(["cache"]) == 0
         assert "entries:    0" in capsys.readouterr().out
+
+    def test_cache_entry_details_and_last_run(self, capsys):
+        assert main(["--instructions", "4000", "tables",
+                     "--benchmarks", "gcc"]) == 0
+        capsys.readouterr()
+        assert main(["cache"]) == 0
+        out = capsys.readouterr().out
+        assert "gcc tc=" in out            # per-entry spec label
+        from repro import __version__
+        assert f"v{__version__}" in out    # per-entry package version
+        assert "last run:   tables" in out
+        assert "cache hits" in out
+
+
+class TestObservabilityCLI:
+    def test_stats_human(self, capsys):
+        assert main(["--instructions", "4000", "stats", "compress"]) == 0
+        out = capsys.readouterr().out
+        assert "events observed" in out
+        assert "trace_misses_per_ki" in out
+        assert "construction_latency" in out
+        assert "idle_burst_length" in out
+
+    def test_stats_json(self, capsys):
+        import json
+
+        assert main(["--instructions", "4000", "stats", "compress",
+                     "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["manifest"]["benchmark"] == "compress"
+        assert payload["intervals"]
+        assert set(payload["histograms"]) == {
+            "trace_length", "construction_latency",
+            "buffer_occupancy", "idle_burst_length"}
+
+    def test_trace_exports_valid_chrome_trace(self, capsys, tmp_path):
+        import json
+
+        from repro.obs import validate_chrome_trace
+
+        out_path = tmp_path / "trace.json"
+        events_path = tmp_path / "events.jsonl"
+        metrics_path = tmp_path / "metrics.jsonl"
+        assert main(["--instructions", "4000", "trace", "compress",
+                     "--out", str(out_path),
+                     "--events", str(events_path),
+                     "--metrics", str(metrics_path)]) == 0
+        assert "trace events" in capsys.readouterr().out
+        payload = json.loads(out_path.read_text())
+        assert validate_chrome_trace(payload) == []
+        assert events_path.read_text().count("\n") > 0
+        assert json.loads(metrics_path.read_text()
+                          .splitlines()[0])["type"] == "meta"
+
+    def test_stats_json_dump_flag(self, capsys, tmp_path):
+        import json
+
+        dump = tmp_path / "points.json"
+        assert main(["--instructions", "4000", "--no-cache", "figure5",
+                     "--benchmarks", "compress",
+                     "--stats-json", str(dump)]) == 0
+        capsys.readouterr()
+        rows = json.loads(dump.read_text())
+        assert len(rows) == 20  # the Figure-5 panel for one benchmark
+        assert all({"spec", "label", "metrics"} <= set(row)
+                   for row in rows)
+        assert "trace_misses_per_ki" in rows[0]["metrics"]
+
+    def test_verbosity_flags_accepted(self, capsys):
+        assert main(["-v", "--instructions", "4000", "point",
+                     "compress", "--tc", "64"]) == 0
+        capsys.readouterr()
+        assert main(["--log-level", "debug", "--instructions", "4000",
+                     "point", "compress", "--tc", "64"]) == 0
+        capsys.readouterr()
+
+
+class TestBenchCheck:
+    def test_check_bench_passes_within_tolerance(self):
+        from repro.runner import check_bench
+
+        reference = {"mode": "quick",
+                     "sections": {"figure5": {"current_seconds": 10.0}}}
+        payload = {"mode": "quick",
+                   "sections": {"figure5": {"current_seconds": 12.0}}}
+        assert check_bench(payload, reference, tolerance=0.5) == []
+
+    def test_check_bench_flags_regression(self):
+        from repro.runner import check_bench
+
+        reference = {"mode": "quick",
+                     "sections": {"figure5": {"current_seconds": 10.0}}}
+        payload = {"mode": "quick",
+                   "sections": {"figure5": {"current_seconds": 16.0}}}
+        problems = check_bench(payload, reference, tolerance=0.5)
+        assert problems and "figure5" in problems[0]
+
+    def test_check_bench_mode_and_section_mismatches(self):
+        from repro.runner import check_bench
+
+        reference = {"mode": "full",
+                     "sections": {"figure5": {"current_seconds": 10.0},
+                                  "tables": {"current_seconds": 1.0}}}
+        assert check_bench({"mode": "quick", "sections": {}}, reference)
+        payload = {"mode": "full",
+                   "sections": {"figure5": {"current_seconds": 10.0},
+                                "extra": {"current_seconds": 1.0}}}
+        problems = check_bench(payload, reference)
+        assert any("tables" in p for p in problems)
+        assert any("extra" in p for p in problems)
+        import pytest
+
+        with pytest.raises(ValueError):
+            check_bench(payload, reference, tolerance=-1)
