@@ -20,6 +20,10 @@ The surface, by layer:
   :class:`WorkloadProfile`, :func:`generate`;
 * **Static analysis** — :func:`analyze` (benchmark name in, full
   :class:`StaticAnalysisReport` out);
+* **Differential validation** — :func:`check_profile` (oracle verdict
+  for one profile), :func:`run_fuzz` (seeded sweep behind
+  ``python -m repro fuzz``), :func:`minimize_case` (failure shrinking),
+  :func:`oracle_names`;
 * **Simulators** (for bespoke studies) — :func:`run_frontend`,
   :func:`run_processor`, :func:`run_dynamic_frontend` and their
   configuration types;
@@ -49,6 +53,16 @@ from repro.analysis import (
 )
 from repro.branch import BimodalPredictor
 from repro.caches import InstructionCache
+from repro.check import (
+    CheckReport,
+    FuzzReport,
+    MinimizedCase,
+    Violation,
+    check_profile,
+    minimize_case,
+    oracle_names,
+    run_fuzz,
+)
 from repro.core import PreconstructionConfig, PreconstructionEngine
 from repro.engine import FunctionalEngine
 from repro.isa import assemble
@@ -95,7 +109,9 @@ from repro.workloads import (
     SPEC95_NAMES,
     WorkloadProfile,
     build_workload,
+    fuzz_profile,
     generate,
+    profile_for,
 )
 
 
@@ -119,7 +135,11 @@ __all__ = [
     "ResultCache", "RunResult", "StreamCache", "TimingReport",
     "resolve_instructions", "run_point", "sweep",
     # workloads
-    "SPEC95_NAMES", "WorkloadProfile", "build_workload", "generate",
+    "SPEC95_NAMES", "WorkloadProfile", "build_workload", "fuzz_profile",
+    "generate", "profile_for",
+    # differential validation
+    "CheckReport", "FuzzReport", "MinimizedCase", "Violation",
+    "check_profile", "minimize_case", "oracle_names", "run_fuzz",
     # static analysis
     "StaticAnalysisReport", "analyze", "analyze_image",
     # simulators

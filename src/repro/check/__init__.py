@@ -1,0 +1,40 @@
+"""Differential validation: workload fuzzer, cross-model oracles, minimizer.
+
+The paper's results rest on the claim that the timing layer replays
+exactly the committed instruction stream the architectural model
+produces, and that the static CFG agrees with both.  This package
+checks that claim *systematically* instead of on a handful of fixed
+profiles:
+
+* :mod:`repro.check.oracles` — the pluggable invariant catalogue
+  (functional determinism, timing-counter conservation laws,
+  interval-metrics consistency, static-CFG containment of every
+  executed edge, metamorphic config/observability equalities);
+* :mod:`repro.check.harness` — :func:`check_profile` runs one
+  :class:`~repro.workloads.WorkloadProfile` through the full stack and
+  evaluates oracles; :func:`execute_check` adapts it to
+  ``ExperimentSpec(kind="check")`` so fuzz verdicts flow through the
+  parallel runner and the content-addressed result cache;
+* :mod:`repro.check.fuzz` — the seeded workload fuzzer behind
+  ``python -m repro fuzz``;
+* :mod:`repro.check.minimize` — shrinks a failing case to a minimal
+  reproducer (knobs toward defaults, budget bisected) and emits a
+  self-contained repro script.
+"""
+
+from repro.check.fuzz import FuzzFailure, FuzzReport, fuzz_case_spec, run_fuzz
+from repro.check.harness import (
+    DEFAULT_CHECK_INSTRUCTIONS,
+    CheckReport,
+    check_profile,
+    execute_check,
+)
+from repro.check.minimize import MinimizedCase, knob_diff, minimize_case
+from repro.check.oracles import ORACLES, CheckBundle, Violation, oracle_names
+
+__all__ = [
+    "CheckBundle", "CheckReport", "DEFAULT_CHECK_INSTRUCTIONS",
+    "FuzzFailure", "FuzzReport", "MinimizedCase", "ORACLES", "Violation",
+    "check_profile", "execute_check", "fuzz_case_spec", "knob_diff",
+    "minimize_case", "oracle_names", "run_fuzz",
+]

@@ -14,6 +14,7 @@ Usage::
     python -m repro dynamic --benchmarks gcc go
     python -m repro all --jobs 4 [--timing-report timing.json]
     python -m repro bench [--quick] [--check BENCH_hotpath.json]
+    python -m repro fuzz --seeds 100 [--budget 8000] [--oracle NAME ...]
     python -m repro cache [--clear]
 
 Observability: ``repro stats`` and ``repro trace`` run one frontend
@@ -198,6 +199,33 @@ def _parser() -> argparse.ArgumentParser:
     bench.add_argument("--tolerance", type=float, default=0.5,
                        help="allowed fractional slowdown vs the --check "
                             "reference (default: 0.5 = +50%%)")
+
+    from repro.check.oracles import oracle_names
+
+    fuzz = sub.add_parser(
+        "fuzz", help="differential validation: fuzz randomized workloads "
+                     "through the cross-model oracle catalogue")
+    fuzz.add_argument("--seeds", type=int, default=25,
+                      help="number of fuzz cases (default: 25)")
+    fuzz.add_argument("--seed-base", type=int, default=0,
+                      help="first case seed (cases are seed-base..+seeds-1)")
+    fuzz.add_argument("--budget", type=int, default=None,
+                      help="instructions per case (default: 8000; "
+                           "independent of the global --instructions)")
+    fuzz.add_argument("--oracle", action="append", dest="oracles",
+                      choices=oracle_names(), default=None, metavar="NAME",
+                      help="restrict the verdict to these oracles "
+                           "(repeatable; default: all of "
+                           f"{', '.join(oracle_names())})")
+    fuzz.add_argument("--jobs", type=int, default=1,
+                      help="worker processes (grouped per case)")
+    fuzz.add_argument("--no-minimize", action="store_true",
+                      help="report failures without shrinking them")
+    fuzz.add_argument("--failures-dir", default=None, metavar="DIR",
+                      help="write a self-contained repro script per "
+                           "minimized failure")
+    fuzz.add_argument("--json", action="store_true",
+                      help="emit the fuzz report as JSON")
 
     cachecmd = sub.add_parser("cache", help="inspect the result cache")
     cachecmd.add_argument("--clear", action="store_true",
@@ -487,6 +515,25 @@ def main(argv: Sequence[str] | None = None) -> int:
             print(f"bench check vs {args.check}: "
                   f"within +{args.tolerance:.0%}", file=sys.stderr)
         return 0
+
+    if args.command == "fuzz":
+        from repro.check import DEFAULT_CHECK_INSTRUCTIONS, run_fuzz
+
+        cache = None if args.no_cache else ResultCache(args.cache_dir)
+        budget = (args.budget if args.budget is not None
+                  else DEFAULT_CHECK_INSTRUCTIONS)
+        progress = stderr_progress if args.jobs > 1 else None
+        fuzz_report = run_fuzz(
+            args.seeds, budget, seed_base=args.seed_base,
+            oracles=args.oracles, jobs=args.jobs, cache=cache,
+            progress=progress, minimize=not args.no_minimize,
+            failures_dir=args.failures_dir)
+        if args.json:
+            print(json.dumps(fuzz_report.to_dict(), indent=2,
+                             sort_keys=True))
+        else:
+            print(fuzz_report.format())
+        return 0 if fuzz_report.ok else 1
 
     instructions = resolve_instructions(args.instructions)
     if args.command == "stats":

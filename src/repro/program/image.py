@@ -105,3 +105,30 @@ class ProgramImage:
             if addr == pc:
                 return name
         return None
+
+    # ------------------------------------------------------------------
+    def digest(self) -> str:
+        """Stable SHA-256 content address of the whole image.
+
+        Covers every field that affects execution — code, entry, data,
+        labels, relocation provenance — through a canonical rendering
+        (sorted mappings, positional instruction fields), so the hex
+        digest is identical across processes and ``PYTHONHASHSEED``
+        values.  The determinism oracles and the cross-interpreter
+        generator tests compare images through this.
+        """
+        import hashlib
+
+        hasher = hashlib.sha256()
+        hasher.update(f"base={self.code_base};entry={self.entry};".encode())
+        for inst in self.instructions:
+            hasher.update(
+                f"{inst.op.value},{inst.rd},{inst.rs1},{inst.rs2},"
+                f"{inst.imm},{inst.sh1},{inst.sh2};".encode())
+        for addr in sorted(self.data):
+            hasher.update(f"d{addr}={self.data[addr]};".encode())
+        for addr in sorted(self.relocs):
+            hasher.update(f"r{addr}={self.relocs[addr]};".encode())
+        for name in sorted(self.labels):
+            hasher.update(f"l{name}={self.labels[name]};".encode())
+        return hasher.hexdigest()

@@ -9,10 +9,13 @@ path, so stale entries are never read — only orphaned (reclaim with
 :meth:`ResultCache.clear` or ``python -m repro cache --clear``).
 
 The default root is ``$REPRO_CACHE_DIR``, else
-``$XDG_CACHE_HOME/repro``, else ``~/.cache/repro``.  Corrupted or
-unreadable entries are treated as misses (the point is recomputed and
-the entry rewritten); writes are atomic (temp file + rename) so a
-killed run never leaves a truncated entry behind.
+``$XDG_CACHE_HOME/repro``, else ``~/.cache/repro``.  Unreadable entries are treated as misses (the
+point is recomputed and the entry rewritten); *corrupted* entries —
+readable but failing the JSON/schema/digest checks — are additionally
+quarantined by renaming to ``<name>.json.corrupt``, so a warm rerun
+pays the parse-and-reject cost once, not on every pass, while the bad
+bytes stay on disk for inspection.  Writes are atomic (temp file +
+rename) so a killed run never leaves a truncated entry behind.
 """
 
 from __future__ import annotations
@@ -97,12 +100,37 @@ class ResultCache:
             if result.spec != spec:
                 raise ValueError("spec mismatch")
         except (ValueError, KeyError, TypeError) as error:
-            log.warning("corrupted result-cache entry %s (%s); recomputing",
-                        path.name, error)
+            quarantined = self._quarantine(path)
+            log.warning("corrupted result-cache entry %s (%s); "
+                        "quarantined as %s and recomputing",
+                        path.name, error,
+                        quarantined.name if quarantined else "<unremovable>")
             self.misses += 1
             return None
         self.hits += 1
         return result
+
+    def _quarantine(self, path: Path) -> Optional[Path]:
+        """Move a corrupted entry aside so warm reruns stop re-parsing it.
+
+        The ``<name>.json.corrupt`` rename takes the file out of
+        :meth:`entries`'s ``v*/*.json`` glob and off :meth:`get`'s path
+        while preserving the bytes for post-mortem inspection;
+        :meth:`clear` reclaims quarantined files too.  Returns the new
+        path, or ``None`` if the rename itself failed (the entry then
+        stays in place and keeps being reported as a miss).
+        """
+        target = path.with_name(path.name + ".corrupt")
+        try:
+            return path.replace(target)
+        except OSError:
+            return None
+
+    def quarantined(self) -> list[Path]:
+        """Entries moved aside by :meth:`_quarantine`."""
+        if not self.root.is_dir():
+            return []
+        return sorted(self.root.glob("v*/*.json.corrupt"))
 
     def put(self, spec: ExperimentSpec, result: RunResult) -> Path:
         """Atomically store ``result`` under ``spec``'s digest."""
@@ -185,9 +213,10 @@ class ResultCache:
             return None
 
     def clear(self) -> int:
-        """Delete every stored entry; returns the number removed."""
+        """Delete every stored entry (quarantined ones included);
+        returns the number removed."""
         removed = 0
-        for path in self.entries():
+        for path in self.entries() + self.quarantined():
             try:
                 path.unlink()
                 removed += 1

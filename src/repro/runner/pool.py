@@ -121,6 +121,15 @@ def execute_spec(spec: ExperimentSpec,
     one is built at the spec's budget.
     """
     started = time.perf_counter()
+    if spec.kind == "check":
+        # Differential validation builds (and re-builds) its own
+        # execution legs — a shared stream cache would defeat the
+        # regeneration-based determinism oracle.
+        from repro.check.harness import execute_check
+
+        return RunResult(spec=spec, metrics=execute_check(spec),
+                         wall_seconds=time.perf_counter() - started,
+                         manifest=build_manifest(spec))
     if stream_cache is None or stream_cache.instructions < spec.instructions:
         stream_cache = StreamCache(spec.instructions)
     image = stream_cache.image(spec.benchmark, spec.workload_seed)

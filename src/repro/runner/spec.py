@@ -53,7 +53,7 @@ SPEC_SCHEMA_VERSION = 2
 DEFAULT_INSTRUCTIONS = 60_000
 
 #: Simulation kinds a spec can describe.
-KINDS = ("frontend", "processor", "dynamic")
+KINDS = ("frontend", "processor", "dynamic", "check")
 
 
 def resolve_instructions(explicit: Optional[int] = None) -> int:
@@ -96,8 +96,11 @@ class ExperimentSpec:
 
     ``kind`` selects the simulator: ``"frontend"`` (Figure 5 /
     Tables 1-3 metrics), ``"processor"`` (the full timing model behind
-    Figures 6/8; honours ``preprocess``), or ``"dynamic"`` (the
-    adaptive trace-storage partitioning extension).
+    Figures 6/8; honours ``preprocess``), ``"dynamic"`` (the adaptive
+    trace-storage partitioning extension), or ``"check"`` (the
+    differential-validation oracles of :mod:`repro.check`; metrics are
+    per-oracle violation counts, so fuzz verdicts ride the same result
+    cache as simulation points).
 
     ``instructions`` left as ``None`` is resolved eagerly at
     construction via :func:`resolve_instructions`, so a spec always

@@ -6,6 +6,12 @@ from repro.workloads.data import (
     cursor_mask,
     fill_random_array,
 )
+from repro.workloads.fuzz import (
+    FUZZ_PREFIX,
+    fuzz_profile,
+    fuzz_seed_of,
+    is_fuzz_name,
+)
 from repro.workloads.generator import GeneratedWorkload, generate
 from repro.workloads.profiles import WorkloadProfile
 from repro.workloads.spec95 import (
@@ -13,10 +19,13 @@ from repro.workloads.spec95 import (
     SPEC95_NAMES,
     SPEC95_PROFILES,
     build_workload,
+    profile_for,
 )
 
 __all__ = [
     "RANDOM_ARRAY_OFFSET", "SCRATCH_OFFSET", "cursor_mask",
     "fill_random_array", "GeneratedWorkload", "generate", "WorkloadProfile",
     "LARGE_WORKING_SET", "SPEC95_NAMES", "SPEC95_PROFILES", "build_workload",
+    "profile_for", "FUZZ_PREFIX", "fuzz_profile", "fuzz_seed_of",
+    "is_fuzz_name",
 ]

@@ -1,0 +1,132 @@
+"""Seeded sampling of adversarial :class:`WorkloadProfile`\\ s.
+
+The SPECint95 stand-ins (:mod:`repro.workloads.spec95`) are *friendly*
+profiles: tuned mixes that exercise the trace cache the way the paper's
+benchmarks do.  The differential-validation fuzzer needs the opposite —
+randomized-but-reproducible profiles that push the generator and every
+model above it into corners the fixed profiles never reach: deep call
+chains, degenerate one-arm switch tables, single-iteration loops,
+near-empty procedures, all-indirect call graphs.
+
+Every fuzz profile is a pure function of one integer seed:
+``fuzz_profile(7)`` is byte-for-byte identical across processes and
+``PYTHONHASHSEED`` values, so a fuzz case can be named (``"fuzz-7"``),
+content-addressed through :class:`repro.runner.ExperimentSpec`, and
+replayed from nothing but its seed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import replace
+
+from repro.workloads.profiles import WorkloadProfile
+
+#: Benchmark-name prefix that routes :func:`repro.workloads.build_workload`
+#: to the fuzz sampler: ``"fuzz-<seed>"``.
+FUZZ_PREFIX = "fuzz-"
+
+#: Decouples profile-shape sampling from the workload's own data seed.
+_SHAPE_SALT = 0x5EED_FACE
+
+#: The degenerate shapes the sampler injects, each with the probability
+#: that a given fuzz seed draws it (independently; several can stack).
+DEGENERATE_SHAPES = ("deep_calls", "degenerate_switch",
+                     "single_trip_loops", "near_empty_procs",
+                     "indirect_heavy")
+
+
+def is_fuzz_name(name: str) -> bool:
+    """True for benchmark names the fuzz sampler owns (``fuzz-<seed>``)."""
+    if not name.startswith(FUZZ_PREFIX):
+        return False
+    suffix = name[len(FUZZ_PREFIX):]
+    return suffix.isdigit()
+
+
+def fuzz_seed_of(name: str) -> int:
+    """The integer seed encoded in a ``fuzz-<seed>`` benchmark name."""
+    if not is_fuzz_name(name):
+        raise ValueError(f"not a fuzz benchmark name: {name!r}")
+    return int(name[len(FUZZ_PREFIX):])
+
+
+def fuzz_profile(seed: int) -> WorkloadProfile:
+    """The deterministic fuzz profile named ``fuzz-<seed>``.
+
+    Samples every structural knob from a :class:`random.Random` seeded
+    only by ``seed`` (mixed with a fixed salt so the *shape* stream is
+    independent of the workload's own data stream), then layers zero or
+    more degenerate shapes on top.  The result always satisfies
+    :class:`WorkloadProfile`'s validation invariants.
+    """
+    if seed < 0:
+        raise ValueError("fuzz seed must be non-negative")
+    rng = random.Random((seed << 1) ^ _SHAPE_SALT)
+
+    constructs_min = rng.randint(0, 4)
+    loop_trip_min = rng.randint(1, 6)
+    block_min = rng.randint(1, 4)
+    profile = WorkloadProfile(
+        name=f"{FUZZ_PREFIX}{seed}",
+        seed=seed,
+        procedures=rng.randint(1, 48),
+        constructs_min=constructs_min,
+        constructs_max=constructs_min + rng.randint(0, 6),
+        block_min=block_min,
+        block_max=block_min + rng.randint(0, 8),
+        loop_weight=rng.uniform(0.0, 0.5),
+        loop_trip_min=loop_trip_min,
+        loop_trip_max=loop_trip_min + rng.randint(0, 20),
+        nested_loop_prob=rng.uniform(0.0, 0.6),
+        diamond_weight=rng.uniform(0.0, 0.5),
+        biased_fraction=rng.choice((0.0, 1.0, rng.random())),
+        switch_weight=rng.uniform(0.0, 0.25),
+        switch_arms=rng.choice((1, 2, 4, 8, 16)),
+        call_weight=rng.uniform(0.0, 0.5),
+        call_guard_prob=rng.choice((0.0, 1.0, rng.random())),
+        guard_phases=rng.choice((1, 2, 4, 8)),
+        guard_run_shift=rng.randint(0, 5),
+        fptr_call_prob=rng.choice((0.0, rng.random())),
+        fanout=rng.randint(1, 8),
+        mul_fraction=rng.uniform(0.0, 0.3),
+        load_fraction=rng.uniform(0.0, 0.3),
+        store_fraction=rng.uniform(0.0, 0.2),
+        data_words=rng.choice((8, 64, 256, 1024, 4096)),
+    )
+
+    shapes = [shape for shape in DEGENERATE_SHAPES if rng.random() < 0.18]
+    for shape in shapes:
+        profile = _apply_shape(profile, shape, rng)
+    return profile
+
+
+def _apply_shape(profile: WorkloadProfile, shape: str,
+                 rng: random.Random) -> WorkloadProfile:
+    """One degenerate-shape overlay (each keeps the profile valid)."""
+    if shape == "deep_calls":
+        # A long thin chain: every procedure calls the next, main calls
+        # only the head, so the dynamic call depth spans the program.
+        return replace(profile, procedures=rng.randint(32, 96),
+                       call_weight=0.8, loop_weight=0.05,
+                       switch_weight=0.0, fanout=1,
+                       constructs_min=1, constructs_max=2)
+    if shape == "degenerate_switch":
+        # One-arm jump tables: an indirect jump whose table has a
+        # single entry (ANDI mask 0), plus a switch-heavy mix.
+        return replace(profile, switch_arms=1, switch_weight=0.5)
+    if shape == "single_trip_loops":
+        # Loops whose counted bound is exactly one iteration.
+        return replace(profile, loop_trip_min=1, loop_trip_max=1,
+                       loop_weight=0.5, nested_loop_prob=0.0)
+    if shape == "near_empty_procs":
+        # Procedures whose bodies shrink toward the bare prologue /
+        # epilogue pair.
+        return replace(profile, constructs_min=0, constructs_max=1,
+                       block_min=1, block_max=2)
+    if shape == "indirect_heavy":
+        # Every call site dispatches through a function-pointer table;
+        # statically opaque to preconstruction.
+        return replace(profile, fptr_call_prob=1.0, call_weight=0.6,
+                       procedures=max(profile.procedures, 8))
+    raise ValueError(f"unknown degenerate shape {shape!r}")

@@ -112,19 +112,38 @@ SPEC95_NAMES = tuple(SPEC95_PROFILES)
 LARGE_WORKING_SET = ("gcc", "go", "vortex")
 
 
+def profile_for(name: str, seed: int | None = None) -> WorkloadProfile:
+    """The profile behind a benchmark name.
+
+    Accepts the SPECint95 stand-in names *and* fuzz names
+    (``fuzz-<seed>``, resolved through
+    :func:`repro.workloads.fuzz.fuzz_profile`), so every layer keyed by
+    benchmark name — :class:`repro.runner.ExperimentSpec`, the stream
+    cache, the differential checker — covers fuzz cases uniformly.
+    ``seed`` overrides the profile's own workload seed.
+    """
+    from repro.workloads.fuzz import fuzz_profile, fuzz_seed_of, is_fuzz_name
+
+    if is_fuzz_name(name):
+        profile = fuzz_profile(fuzz_seed_of(name))
+    else:
+        try:
+            profile = SPEC95_PROFILES[name]
+        except KeyError:
+            raise ValueError(
+                f"unknown benchmark {name!r}; choose from {SPEC95_NAMES} "
+                f"or a fuzz name like 'fuzz-7'"
+            ) from None
+    if seed is not None:
+        profile = replace(profile, seed=seed)
+    return profile
+
+
 def build_workload(name: str, seed: int | None = None) -> GeneratedWorkload:
-    """Generate the named SPECint95 stand-in (deterministic per name).
+    """Generate the named benchmark (deterministic per name).
 
     ``seed`` overrides the profile's own seed, producing a structurally
     equivalent but differently-shuffled instance of the benchmark —
     the knob behind :class:`repro.runner.ExperimentSpec.workload_seed`.
     """
-    try:
-        profile = SPEC95_PROFILES[name]
-    except KeyError:
-        raise ValueError(
-            f"unknown benchmark {name!r}; choose from {SPEC95_NAMES}"
-        ) from None
-    if seed is not None:
-        profile = replace(profile, seed=seed)
-    return generate(profile)
+    return generate(profile_for(name, seed))

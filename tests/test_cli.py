@@ -248,3 +248,69 @@ class TestBenchCheck:
 
         with pytest.raises(ValueError):
             check_bench(payload, reference, tolerance=-1)
+
+
+class TestFuzzCommand:
+    def test_clean_sweep_exits_zero(self, capsys):
+        assert main(["--no-cache", "fuzz", "--seeds", "2",
+                     "--budget", "3000"]) == 0
+        out = capsys.readouterr().out
+        assert "all oracles held" in out
+
+    def test_json_output(self, capsys):
+        import json
+
+        assert main(["--no-cache", "fuzz", "--seeds", "2",
+                     "--budget", "3000", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["cases"] == 2
+        assert payload["failures"] == []
+
+    def test_oracle_subset_and_seed_base(self, capsys):
+        assert main(["--no-cache", "fuzz", "--seeds", "2",
+                     "--seed-base", "10", "--budget", "3000",
+                     "--oracle", "conservation", "--json"]) == 0
+        import json
+
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["seed_base"] == 10
+        assert payload["oracles"] == ["conservation"]
+
+    def test_warm_rerun_hits_cache(self, capsys, tmp_path):
+        cache_dir = str(tmp_path / "fuzz-cache")
+        assert main(["--cache-dir", cache_dir, "fuzz", "--seeds", "2",
+                     "--budget", "3000", "--json"]) == 0
+        capsys.readouterr()
+        assert main(["--cache-dir", cache_dir, "fuzz", "--seeds", "2",
+                     "--budget", "3000", "--json"]) == 0
+        import json
+
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["cache_hits"] == 2
+
+    def test_broken_counter_exits_nonzero(self, capsys, monkeypatch,
+                                          tmp_path):
+        from repro.sim.frontend_runner import FrontendSimulation
+
+        original = FrontendSimulation._slow_path_fetch
+
+        def corrupted(self, actual):
+            cycles = original(self, actual)
+            self.stats.slow_path_traces -= 1
+            return cycles
+
+        monkeypatch.setattr(FrontendSimulation, "_slow_path_fetch",
+                            corrupted)
+        failures = tmp_path / "failures"
+        assert main(["--no-cache", "fuzz", "--seeds", "1",
+                     "--budget", "3000",
+                     "--failures-dir", str(failures)]) == 1
+        out = capsys.readouterr().out
+        assert "failing case(s)" in out
+        assert list(failures.glob("repro_fuzz_*.py"))
+
+    def test_unknown_oracle_rejected(self):
+        import pytest
+
+        with pytest.raises(SystemExit):
+            main(["fuzz", "--oracle", "nope"])

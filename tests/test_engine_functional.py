@@ -186,6 +186,80 @@ class TestControlFlow:
         assert len(stream) == 100
 
 
+class TestExecutionErrorPaths:
+    def test_wild_indirect_call_raises_with_site_pc(self):
+        engine = FunctionalEngine(_image_from_asm("""
+            addi r1, r0, 12
+            jalr ra, r1
+        """))
+        with pytest.raises(ExecutionError, match="0x1004.*wild target"):
+            engine.run(10)
+
+    def test_fall_off_code_segment_raises(self):
+        # No halt: after the last instruction the PC leaves the code
+        # segment and the next fetch must fail loudly, not wrap.
+        engine = FunctionalEngine(_image_from_asm("addi r1, r0, 1"))
+        with pytest.raises(ExecutionError, match="out of code segment"):
+            engine.run(10)
+
+    def test_direct_jump_out_of_segment_raises(self):
+        engine = FunctionalEngine(_image_from_asm("""
+            j 0x2000
+        """))
+        with pytest.raises(ExecutionError, match="out of code segment"):
+            engine.run(10)
+
+    def test_misaligned_indirect_target_raises(self):
+        engine = FunctionalEngine(_image_from_asm("""
+            addi r1, r0, 0x1002
+            jr   r1
+        """))
+        with pytest.raises(ExecutionError, match="wild target"):
+            engine.run(10)
+
+    def test_budget_exhaustion_mid_call_is_resumable(self):
+        # The budget runs out inside the callee: the engine is paused,
+        # not halted, and stepping resumes exactly where it stopped.
+        engine = FunctionalEngine(_image_from_asm("""
+            jal  work
+            halt
+        work:
+            addi r1, r1, 1
+            addi r1, r1, 1
+            jr   ra
+        """))
+        stream = engine.run(2)  # jal + first callee instruction
+        assert len(stream) == 2
+        assert not engine.halted
+        assert engine.pc == 0x100C  # mid-callee
+        resumed = engine.run(10)
+        assert engine.halted
+        assert resumed[-1].inst.op is Opcode.HALT
+        assert engine.state.read(1) == 2
+
+    def test_halt_inside_switch_target(self):
+        # An indirect jump (non-return JR = switch dispatch) lands on
+        # an arm whose first instruction is HALT: the engine must stop
+        # there, and the final record's next_pc is the halt site itself.
+        engine = FunctionalEngine(_image_from_asm("""
+            addi r1, r0, 0x1010
+            jr   r1
+        arm0:
+            addi r2, r0, 1
+            halt
+        arm1:
+            halt
+        """))
+        stream = engine.run(10)
+        assert engine.halted
+        assert len(stream) == 3
+        assert stream[-1].pc == 0x1010  # arm1, skipping arm0 entirely
+        assert stream[-1].next_pc == stream[-1].pc
+        assert engine.state.read(2) == 0
+        with pytest.raises(ExecutionError, match="halted"):
+            engine.step()
+
+
 class TestHelpers:
     def test_signed_unsigned_round_trip(self):
         assert to_signed(to_unsigned(-5)) == -5

@@ -159,6 +159,46 @@ class TestResultCache:
         assert cache.clear() == 1
         assert cache.entries() == []
 
+    def test_corrupted_entry_is_quarantined(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = spec_for()
+        cache.put(spec, execute_spec(spec))
+        path = cache.path_for(spec)
+        path.write_text("{ not json")
+        assert cache.get(spec) is None
+        # The bad bytes moved aside: no longer listed, no longer parsed.
+        assert not path.exists()
+        assert cache.entries() == []
+        quarantined = cache.quarantined()
+        assert [p.name for p in quarantined] == [path.name + ".corrupt"]
+        assert quarantined[0].read_text() == "{ not json"
+
+    def test_quarantined_entry_not_reparsed_on_warm_rerun(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = spec_for()
+        cache.put(spec, execute_spec(spec))
+        cache.path_for(spec).write_text("{ not json")
+        assert cache.get(spec) is None      # quarantines
+        before = cache.misses
+        assert cache.get(spec) is None      # plain miss: file is gone
+        assert cache.misses == before + 1
+        assert len(cache.quarantined()) == 1
+        # Recompute repairs the entry alongside the quarantined bytes.
+        assert not run_point(spec, cache=cache).cached
+        assert run_point(spec, cache=cache).cached
+        assert len(cache.quarantined()) == 1
+
+    def test_clear_removes_quarantined_entries(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = spec_for()
+        cache.put(spec, execute_spec(spec))
+        cache.path_for(spec).write_text("broken")
+        assert cache.get(spec) is None
+        cache.put(spec, execute_spec(spec))
+        assert cache.clear() == 2  # live entry + quarantined bytes
+        assert cache.entries() == []
+        assert cache.quarantined() == []
+
 
 # ----------------------------------------------------------------------
 # Scheduler
