@@ -19,7 +19,9 @@ The surface, by layer:
 * **Workloads** — :func:`build_workload`, :data:`SPEC95_NAMES`,
   :class:`WorkloadProfile`, :func:`generate`;
 * **Static analysis** — :func:`analyze` (benchmark name in, full
-  :class:`StaticAnalysisReport` out);
+  :class:`StaticAnalysisReport` out), :func:`predict` (benchmark name
+  in, :class:`CoveragePrediction` of the trace working set out), plus
+  :class:`StaticFacts` / :func:`predict_coverage` for bespoke images;
 * **Differential validation** — :func:`check_profile` (oracle verdict
   for one profile), :func:`run_fuzz` (seeded sweep behind
   ``python -m repro fuzz``), :func:`minimize_case` (failure shrinking),
@@ -103,7 +105,13 @@ from repro.sim import (
     run_dynamic_frontend,
     run_frontend,
 )
-from repro.static import StaticAnalysisReport, analyze_image
+from repro.static import (
+    CoveragePrediction,
+    StaticAnalysisReport,
+    StaticFacts,
+    analyze_image,
+    predict_coverage,
+)
 from repro.trace import TraceCache, traces_of_stream
 from repro.workloads import (
     SPEC95_NAMES,
@@ -129,6 +137,20 @@ def analyze(benchmark: str, *,
                          name=benchmark)
 
 
+def predict(benchmark: str, *,
+            workload_seed: int | None = None) -> CoveragePrediction:
+    """Static trace-coverage prediction for a named benchmark.
+
+    Builds the workload and statically delimits every trace the fill
+    unit can construct (§3.2) under the default selection rules — the
+    engine behind ``python -m repro predict``.  The prediction's
+    containment guarantee (every dynamic trace start and committed pc
+    is predicted) is what the ``coverage`` oracle asserts.
+    """
+    workload = build_workload(benchmark, seed=workload_seed)
+    return predict_coverage(workload.image)
+
+
 __all__ = [
     # experiment description & execution
     "DEFAULT_INSTRUCTIONS", "ExperimentRunner", "ExperimentSpec",
@@ -141,7 +163,8 @@ __all__ = [
     "CheckReport", "FuzzReport", "MinimizedCase", "Violation",
     "check_profile", "minimize_case", "oracle_names", "run_fuzz",
     # static analysis
-    "StaticAnalysisReport", "analyze", "analyze_image",
+    "CoveragePrediction", "StaticAnalysisReport", "StaticFacts",
+    "analyze", "analyze_image", "predict", "predict_coverage",
     # simulators
     "DynamicPartitionConfig", "FrontendConfig", "ProcessorConfig",
     "build_frontend_config", "build_processor_config",

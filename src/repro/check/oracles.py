@@ -33,6 +33,12 @@ Oracle catalogue (name → what it proves):
 ``roundtrip``
     A result survives the content-addressed cache's JSON round trip
     bit-exactly.
+``coverage``
+    Static-vs-dynamic trace-coverage containment: every trace start
+    point the dynamic partition produced is predicted by the static
+    trace delimitation (:mod:`repro.static.predictor`), every executed
+    pc lies inside the predicted coverage set, and the prediction never
+    strays outside static reachability (gross over-approximation).
 
 A capped number of violations per oracle are *described*; the count is
 always exact.
@@ -196,12 +202,21 @@ class CheckBundle:
         return run_frontend(self.image, config, self.instructions,
                             traces=self.traces)
 
-    # -- static leg ----------------------------------------------------
+    # -- static legs ---------------------------------------------------
     @cached_property
     def cfg(self):
         from repro.static import recover_cfg
 
         return recover_cfg(self.image)
+
+    @cached_property
+    def prediction(self):
+        """Static trace-coverage prediction under the same selection
+        config the dynamic partition uses."""
+        from repro.static.predictor import predict_coverage
+
+        return predict_coverage(self.image,
+                                config=self.config.selection)
 
 
 # ----------------------------------------------------------------------
@@ -412,6 +427,53 @@ def check_roundtrip(bundle: CheckBundle) -> list[Violation]:
     return claims.done()
 
 
+def check_coverage(bundle: CheckBundle) -> list[Violation]:
+    """Static trace delimitation contains the dynamic behaviour.
+
+    The predictor walks every statically reachable delimitation path,
+    so — when its exploration completed within budget — the dynamic
+    run can never produce a trace start point or execute an
+    instruction the prediction missed (the truncation/leftover rebase
+    argument in DESIGN.md §13).  The reverse direction guards against
+    gross over-approximation: predicted coverage must stay inside the
+    conservative static reachability set (it is usually *smaller*,
+    since data-scan indirect targets pull dead procedures into the
+    reachable set, so no lower bound on the ratio is asserted).
+    """
+    claims = _Claims("coverage")
+    prediction = bundle.prediction
+    if not prediction.complete:
+        # Exploration budget exhausted: containment is not guaranteed,
+        # and an incomplete prediction on the small images the checker
+        # drives is itself suspicious.
+        claims.violate("static coverage prediction incomplete "
+                       "(state budget exhausted)",
+                       states=prediction.states_explored)
+        return claims.done()
+
+    seen_starts: set[int] = set()
+    for index, trace in enumerate(bundle.traces):
+        start = trace.start_pc
+        if start in seen_starts:
+            continue
+        seen_starts.add(start)
+        if not prediction.predicts_start(start):
+            claims.violate("dynamic trace start not statically predicted",
+                           index=index, start_pc=start)
+
+    executed = {record.pc for record in bundle.stream}
+    for pc in sorted(executed):
+        if not prediction.covers(pc):
+            claims.violate("executed pc outside predicted coverage",
+                           pc=pc)
+
+    stray = prediction.covered_pcs - prediction.live_pcs
+    claims.equal("predicted coverage within static reachability",
+                 len(stray), 0,
+                 sample=sorted(stray)[:MAX_DETAILED_VIOLATIONS])
+    return claims.done()
+
+
 #: The pluggable oracle registry, in evaluation order.
 ORACLES: dict[str, Callable[[CheckBundle], list[Violation]]] = {
     "determinism": check_determinism,
@@ -420,6 +482,7 @@ ORACLES: dict[str, Callable[[CheckBundle], list[Violation]]] = {
     "cfg": check_cfg,
     "metamorphic": check_metamorphic,
     "roundtrip": check_roundtrip,
+    "coverage": check_coverage,
 }
 
 

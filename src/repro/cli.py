@@ -4,6 +4,7 @@ Usage::
 
     python -m repro list
     python -m repro analyze gcc [--json]
+    python -m repro predict gcc [--json]
     python -m repro point gcc --tc 256 --pb 256 [--static-seed]
     python -m repro stats gcc [--tc 256 --pb 256] [--json]
     python -m repro trace gcc --out trace.json [--events PATH] [--metrics PATH]
@@ -107,6 +108,14 @@ def _parser() -> argparse.ArgumentParser:
     analyze.add_argument("benchmark", choices=SPEC95_NAMES)
     analyze.add_argument("--json", action="store_true",
                          help="emit the full report as deterministic JSON")
+
+    predict = sub.add_parser(
+        "predict", help="static trace-coverage prediction for one "
+                        "benchmark (predicted start points, working set "
+                        "and per-region footprints)")
+    predict.add_argument("benchmark", choices=SPEC95_NAMES)
+    predict.add_argument("--json", action="store_true",
+                         help="emit the prediction as deterministic JSON")
 
     point = sub.add_parser("point", help="one frontend configuration point")
     point.add_argument("benchmark", choices=SPEC95_NAMES)
@@ -459,6 +468,20 @@ def main(argv: Sequence[str] | None = None) -> int:
         else:
             print(format_report(report))
         return 0 if report.ok else 1
+
+    if args.command == "predict":
+        from repro.api import predict
+        from repro.static import STATIC_SCHEMA_VERSION, format_prediction
+
+        prediction = predict(args.benchmark)
+        if args.json:
+            payload = prediction.to_dict()
+            payload["name"] = args.benchmark
+            payload["schema_version"] = STATIC_SCHEMA_VERSION
+            print(json.dumps(payload, sort_keys=True, indent=2))
+        else:
+            print(format_prediction(prediction, name=args.benchmark))
+        return 0 if prediction.complete else 1
 
     if args.command == "cache":
         cache = ResultCache(args.cache_dir)

@@ -9,6 +9,7 @@ analyses share one import surface.
 from repro.program.analysis import (
     StaticStats,
     call_graph,
+    instruction_successors,
     reachable_addresses,
     static_stats,
 )
@@ -21,9 +22,10 @@ from repro.program.layout import DataSegment, LayoutError, Reloc, layout
 #: static package's modules import ``repro.program`` submodules, so an
 #: eager import here would be circular.
 _STATIC_EXPORTS = frozenset({
-    "LintFinding", "RecoveredCFG", "Severity", "StaticAnalysisReport",
-    "StaticCallGraph", "StaticSeed", "analyze_image",
-    "compute_static_seeds", "recover_call_graph", "recover_cfg",
+    "CoveragePrediction", "LintFinding", "RecoveredCFG", "Severity",
+    "StaticAnalysisReport", "StaticCallGraph", "StaticFacts",
+    "StaticSeed", "analyze_image", "compute_static_seeds",
+    "predict_coverage", "recover_call_graph", "recover_cfg",
     "verify_image",
 })
 
@@ -41,12 +43,14 @@ def __dir__() -> list:
 
 
 __all__ = [
-    "StaticStats", "call_graph", "reachable_addresses", "static_stats",
+    "StaticStats", "call_graph", "instruction_successors",
+    "reachable_addresses", "static_stats",
     "BasicBlock", "BodyItem", "Call", "TermKind", "Terminator",
     "ControlFlowGraph", "Procedure", "CODE_BASE", "DATA_BASE",
     "ProgramImage", "DataSegment", "LayoutError", "Reloc", "layout",
-    "LintFinding", "RecoveredCFG", "Severity", "StaticAnalysisReport",
-    "StaticCallGraph", "StaticSeed", "analyze_image",
-    "compute_static_seeds", "recover_call_graph", "recover_cfg",
+    "CoveragePrediction", "LintFinding", "RecoveredCFG", "Severity",
+    "StaticAnalysisReport", "StaticCallGraph", "StaticFacts",
+    "StaticSeed", "analyze_image", "compute_static_seeds",
+    "predict_coverage", "recover_call_graph", "recover_cfg",
     "verify_image",
 ]

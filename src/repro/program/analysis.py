@@ -27,6 +27,48 @@ class StaticStats:
     procedures_reached: int
 
 
+def instruction_successors(image: ProgramImage, pc: int,
+                           indirect_targets: tuple[int, ...] = (),
+                           ) -> tuple[int, ...]:
+    """Static may-successor addresses of the instruction at ``pc``.
+
+    The one-step successor relation both the conservative reachability
+    walk below and the static trace predictor
+    (:mod:`repro.static.predictor`) traverse:
+
+    * plain instructions fall through;
+    * branches yield taken target then fall-through;
+    * direct jumps/calls yield their absolute target (a call *enters*
+      the callee — the post-call return point is the callee's business,
+      via its returns);
+    * indirect transfers yield ``indirect_targets`` (the caller's
+      resolution of the feeding table — conservative or exact);
+    * returns and ``HALT`` yield nothing (return edges belong to call
+      sites, matching the constructor's walk).
+
+    Addresses outside the image are *not* filtered — running off the
+    code segment is a finding the verifier owns, and callers decide
+    how to treat it.
+    """
+    inst = image.try_fetch(pc)
+    if inst is None:
+        return ()
+    kind = inst.kind
+    if kind is Kind.HALT:
+        return ()
+    if kind is Kind.JUMP or kind is Kind.CALL:
+        return (inst.imm,)
+    if kind is Kind.BRANCH:
+        return (pc + inst.imm, pc + INSTRUCTION_BYTES)
+    if kind is Kind.CALL_INDIRECT:
+        return tuple(indirect_targets)
+    if kind is Kind.JUMP_INDIRECT:
+        if inst.is_return:
+            return ()
+        return tuple(indirect_targets)
+    return (pc + INSTRUCTION_BYTES,)
+
+
 def reachable_addresses(image: ProgramImage) -> set[int]:
     """Instruction addresses reachable from the entry point.
 
@@ -36,8 +78,8 @@ def reachable_addresses(image: ProgramImage) -> set[int]:
     generator's self-checks).  Returns are handled via call-site
     fall-through edges.
     """
-    indirect_targets = {value for value in image.data.values()
-                        if value in image}
+    indirect = tuple(sorted({value for value in image.data.values()
+                             if value in image}))
     seen: set[int] = set()
     work: deque[int] = deque([image.entry])
     while work:
@@ -46,29 +88,11 @@ def reachable_addresses(image: ProgramImage) -> set[int]:
             continue
         seen.add(pc)
         inst = image.fetch(pc)
-        kind = inst.kind
-        if kind is Kind.HALT:
-            continue
-        if kind is Kind.JUMP:
-            work.append(inst.imm)
-            continue
-        if kind is Kind.CALL:
-            work.append(inst.imm)
-            work.append(pc + INSTRUCTION_BYTES)  # return point
-            continue
-        if kind is Kind.BRANCH:
-            work.append(pc + inst.imm)
+        work.extend(instruction_successors(image, pc, indirect))
+        # Return edges come from call sites: every call's fall-through
+        # is reachable once some callee return transfers back.
+        if inst.is_call:
             work.append(pc + INSTRUCTION_BYTES)
-            continue
-        if kind is Kind.CALL_INDIRECT:
-            work.extend(indirect_targets)
-            work.append(pc + INSTRUCTION_BYTES)
-            continue
-        if kind is Kind.JUMP_INDIRECT:
-            if not inst.is_return:
-                work.extend(indirect_targets)
-            continue  # return edges come from call sites
-        work.append(pc + INSTRUCTION_BYTES)
     return seen
 
 

@@ -45,7 +45,10 @@ from repro.trace import TraceCacheConfig
 #: carried across ticks, and the default set-index hash is
 #: PYTHONHASHSEED-independent.  Metrics move slightly; old cached
 #: results must not be reused.
-SPEC_SCHEMA_VERSION = 2
+#: v3: ``kind="check"`` verdicts gain the static-vs-dynamic ``coverage``
+#: oracle (and the verifier behind the generate gate grew to 16 rules);
+#: verdicts cached under v2 would silently lack both.
+SPEC_SCHEMA_VERSION = 3
 
 #: Built-in per-run instruction budget (the harness scale documented in
 #: EXPERIMENTS.md: the paper's 200M-instruction runs scaled down

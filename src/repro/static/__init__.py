@@ -11,13 +11,50 @@ top of it:
   ``python -m repro analyze``;
 * **static region seeding** (:mod:`repro.static.seeding`): the paper's
   region start points (call returns + loop exits, §3.1-§3.2) computed
-  ahead of time to prime the preconstruction engine (``--static-seed``).
+  ahead of time to prime the preconstruction engine (``--static-seed``);
+* a **dataflow framework** (:mod:`repro.static.dataflow` /
+  :mod:`repro.static.analyses`): a generic lattice/worklist engine with
+  liveness, reaching definitions, constant-range propagation, SP-delta
+  tracking, interprocedural call-effect summaries and loop trip-count
+  bounds, memoised behind :class:`StaticFacts`;
+* a **coverage predictor** (:mod:`repro.static.predictor`): static
+  trace delimitation per §3.2 predicting every trace start point and
+  committed pc ahead of execution, exposed via
+  ``python -m repro predict`` and differentially validated by the
+  ``coverage`` oracle in :mod:`repro.check`.
 """
 
+from repro.static.analyses import (
+    ALL_REGS_MASK,
+    BOTTOM,
+    ENTRY_DEF,
+    TOP,
+    CallEffects,
+    ConstantRangeAnalysis,
+    Interval,
+    LivenessAnalysis,
+    ProcedureSummaries,
+    ProcedureSummary,
+    ReachingDefsAnalysis,
+    SPDeltaAnalysis,
+    StaticFacts,
+    TripBound,
+    bound_trip_counts,
+    resolve_table_via_dataflow,
+    table_load_slice,
+)
 from repro.static.callgraph import (
     CallSite,
     StaticCallGraph,
     recover_call_graph,
+)
+from repro.static.dataflow import (
+    DataflowAnalysis,
+    DataflowResult,
+    Direction,
+    FlowGraph,
+    build_flow_graph,
+    solve,
 )
 from repro.static.dominators import (
     DominatorTree,
@@ -32,7 +69,14 @@ from repro.static.recovery import (
     RecoveredCFG,
     recover_cfg,
 )
+from repro.static.predictor import (
+    CoveragePrediction,
+    RegionPrediction,
+    format_prediction,
+    predict_coverage,
+)
 from repro.static.report import (
+    STATIC_SCHEMA_VERSION,
     StaticAnalysisReport,
     analyze_image,
     format_report,
@@ -47,26 +91,54 @@ from repro.static.verifier import (
 )
 
 __all__ = [
+    "ALL_REGS_MASK",
+    "BOTTOM",
     "BlockInfo",
+    "CallEffects",
     "CallSite",
+    "ConstantRangeAnalysis",
+    "CoveragePrediction",
     "DEFAULT_RAS_DEPTH",
+    "DataflowAnalysis",
+    "DataflowResult",
+    "Direction",
     "DominatorTree",
+    "ENTRY_DEF",
+    "FlowGraph",
+    "Interval",
     "LintFinding",
+    "LivenessAnalysis",
     "NaturalLoop",
     "ProcedureRange",
+    "ProcedureSummaries",
+    "ProcedureSummary",
+    "ReachingDefsAnalysis",
     "RecoveredCFG",
+    "RegionPrediction",
+    "SPDeltaAnalysis",
+    "STATIC_SCHEMA_VERSION",
     "Severity",
     "StaticAnalysisReport",
     "StaticCallGraph",
+    "StaticFacts",
     "StaticSeed",
+    "TOP",
+    "TripBound",
     "VerificationReport",
     "analyze_image",
+    "bound_trip_counts",
+    "build_flow_graph",
     "compute_static_seeds",
     "find_loops",
+    "format_prediction",
     "format_report",
     "irreducible_components",
     "loop_depth_map",
+    "predict_coverage",
     "recover_call_graph",
     "recover_cfg",
+    "resolve_table_via_dataflow",
+    "solve",
+    "table_load_slice",
     "verify_image",
 ]

@@ -21,7 +21,9 @@ the region heuristics assume reducible loop structure.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
+from repro.static.dataflow import FlowGraph, build_flow_graph
 from repro.static.recovery import ProcedureRange, RecoveredCFG
 
 
@@ -44,26 +46,24 @@ class NaturalLoop:
 
 
 class DominatorTree:
-    """Immediate dominators of one procedure's reachable blocks."""
+    """Immediate dominators of one procedure's reachable blocks.
 
-    def __init__(self, cfg: RecoveredCFG, proc: ProcedureRange) -> None:
+    Built on the deterministic :class:`FlowGraph` (sorted node order,
+    ordered edges): the reverse-postorder worklist, and therefore the
+    whole tree, is a pure function of the image — independent of
+    ``dict``/``set`` insertion order and ``PYTHONHASHSEED``.
+    """
+
+    def __init__(self, cfg: RecoveredCFG, proc: ProcedureRange,
+                 graph: Optional[FlowGraph] = None) -> None:
         self.proc = proc
         self.entry = proc.start
-        reachable = cfg.reachable_blocks(proc)
-        succs: dict[int, tuple[int, ...]] = {}
-        for start in reachable:
-            targets: list[int] = []
-            for addr in cfg.blocks[start].successors:
-                target = cfg.block_at(addr)
-                if (target is not None and target.start in reachable
-                        and target.start not in targets):
-                    targets.append(target.start)
-            succs[start] = tuple(targets)
-        self._succs = succs
-        self._rpo = _reverse_postorder(self.entry, succs)
-        self._index = {b: i for i, b in enumerate(self._rpo)}
+        self.graph = graph or build_flow_graph(cfg, proc)
+        self._succs = self.graph.succs
+        self._rpo = list(self.graph.rpo)
+        self._index = self.graph.rpo_index()
         self.idom: dict[int, int] = _compute_idoms(
-            self.entry, self._rpo, self._index, succs)
+            self.entry, self._rpo, self._index, self._succs)
 
     # ------------------------------------------------------------------
     @property
@@ -83,28 +83,6 @@ class DominatorTree:
                 return False
             node = self.idom.get(node)
         return False
-
-
-def _reverse_postorder(entry: int,
-                       succs: dict[int, tuple[int, ...]]) -> list[int]:
-    """Iterative DFS postorder, reversed."""
-    order: list[int] = []
-    seen: set[int] = set()
-    stack: list[tuple[int, int]] = [(entry, 0)]
-    seen.add(entry)
-    while stack:
-        node, i = stack.pop()
-        children = succs.get(node, ())
-        if i < len(children):
-            stack.append((node, i + 1))
-            child = children[i]
-            if child not in seen:
-                seen.add(child)
-                stack.append((child, 0))
-        else:
-            order.append(node)
-    order.reverse()
-    return order
 
 
 def _compute_idoms(entry: int, rpo: list[int], index: dict[int, int],

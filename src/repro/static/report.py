@@ -25,6 +25,12 @@ from repro.static.verifier import (
     verify_image,
 )
 
+#: Version of the JSON payloads emitted by the static subsystem
+#: (``repro analyze --json`` and ``repro predict --json``).  History:
+#: 1 = unversioned analyze payload (pre-dataflow); 2 = ``schema_version``
+#: field added, verifier expanded to 16 rules, predict payload added.
+STATIC_SCHEMA_VERSION = 2
+
 
 @dataclass
 class StaticAnalysisReport:
@@ -56,6 +62,7 @@ class StaticAnalysisReport:
     def to_dict(self) -> dict[str, object]:
         return {
             "name": self.name,
+            "schema_version": STATIC_SCHEMA_VERSION,
             "summary": {
                 "instructions": self.instructions,
                 "procedures": self.procedures,

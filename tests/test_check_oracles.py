@@ -18,6 +18,7 @@ from repro.check.oracles import (
     _Claims,
     check_cfg,
     check_conservation,
+    check_coverage,
     check_determinism,
     check_intervals,
     oracle_names,
@@ -185,6 +186,74 @@ class TestOraclesCatchTampering:
             stream[index], next_pc=stream[index].pc + 8)
         bundle.__dict__["stream"] = stream
         assert any(v.oracle == "cfg" for v in check_cfg(bundle))
+
+
+class TestCoverageOracle:
+    """The static-vs-dynamic containment loop closes — and its failure
+    modes (broken predictor, exhausted budget, stray coverage) are each
+    caught, so the oracle cannot silently rot (mutation tests)."""
+
+    def test_clean_bundle_has_no_coverage_violations(self):
+        assert check_coverage(_bundle()) == []
+
+    @staticmethod
+    def _shrunken(**overrides):
+        """A predict_coverage stand-in returning a damaged prediction."""
+        from repro.static.predictor import predict_coverage
+
+        def broken(image, config=None, facts=None):
+            real = predict_coverage(image, config=config, facts=facts)
+            return dataclasses.replace(real, **overrides)
+
+        return broken
+
+    def test_dropped_start_points_are_caught(self, monkeypatch):
+        """Mutation test: a predictor that forgets start points must
+        fail the oracle, not pass silently."""
+        bundle = _bundle()
+        sample = frozenset(sorted(
+            {t.start_pc for t in bundle.traces})[:1])
+        monkeypatch.setattr(
+            "repro.static.predictor.predict_coverage",
+            self._shrunken(start_pcs=sample))
+        violations = check_coverage(bundle)
+        assert any("not statically predicted" in v.message
+                   for v in violations)
+
+    def test_dropped_coverage_is_caught(self, monkeypatch):
+        bundle = _bundle()
+        monkeypatch.setattr(
+            "repro.static.predictor.predict_coverage",
+            self._shrunken(covered_pcs=frozenset()))
+        violations = check_coverage(bundle)
+        assert any("outside predicted coverage" in v.message
+                   for v in violations)
+
+    def test_incomplete_prediction_is_flagged(self, monkeypatch):
+        bundle = _bundle()
+        monkeypatch.setattr(
+            "repro.static.predictor.predict_coverage",
+            self._shrunken(complete=False))
+        violations = check_coverage(bundle)
+        assert len(violations) == 1
+        assert "incomplete" in violations[0].message
+
+    def test_stray_coverage_is_flagged(self, monkeypatch):
+        """Claiming a pc outside static reachability is gross
+        over-approximation and must violate."""
+        bundle = _bundle()
+        bogus = bundle.image.code_end + 0x1000
+        monkeypatch.setattr(
+            "repro.static.predictor.predict_coverage",
+            self._shrunken(covered_pcs=frozenset({bogus})
+                           | self._live(bundle)))
+        violations = check_coverage(bundle)
+        assert any("reachability" in v.message for v in violations)
+
+    @staticmethod
+    def _live(bundle):
+        from repro.static.predictor import predict_coverage
+        return predict_coverage(bundle.image).covered_pcs
 
 
 class TestOracleRegistry:

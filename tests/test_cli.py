@@ -40,16 +40,54 @@ class TestCLI:
         out = capsys.readouterr().out
         assert "static analysis: compress" in out
         assert "static region seeds" in out
-        assert "no findings" in out
+        # Generated code carries INFO findings only (filler dead
+        # stores); no error- or warning-severity lines.
+        assert "error at" not in out
+        assert "warning" not in out
 
     def test_analyze_json(self, capsys):
         import json
 
+        from repro.static.report import STATIC_SCHEMA_VERSION
+
         assert main(["analyze", "compress", "--json"]) == 0
         payload = json.loads(capsys.readouterr().out)
         assert payload["name"] == "compress"
-        assert payload["findings"] == []
+        assert payload["schema_version"] == STATIC_SCHEMA_VERSION
+        assert all(f["severity"] == "info" for f in payload["findings"])
         assert payload["summary"]["static_seeds"] == len(payload["seeds"])
+
+    def test_predict_human_report(self, capsys):
+        assert main(["predict", "compress"]) == 0
+        out = capsys.readouterr().out
+        assert "static coverage prediction: compress" in out
+        assert "trace start points" in out
+        assert "exploration complete" in out
+        assert "preconstruction regions" in out
+
+    def test_predict_json_matches_golden(self, capsys):
+        import json
+        from pathlib import Path
+
+        from repro.static.report import STATIC_SCHEMA_VERSION
+
+        assert main(["predict", "compress", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["name"] == "compress"
+        assert payload["schema_version"] == STATIC_SCHEMA_VERSION
+        assert payload["complete"] is True
+        golden = json.loads(
+            (Path(__file__).parent / "golden"
+             / "predict_spec95.json").read_text())
+        summary = {k: v for k, v in payload.items()
+                   if k in golden["compress"]}
+        assert summary == golden["compress"]
+
+    def test_predict_json_deterministic(self, capsys):
+        assert main(["predict", "gcc", "--json"]) == 0
+        first = capsys.readouterr().out
+        assert main(["predict", "gcc", "--json"]) == 0
+        assert capsys.readouterr().out == first
 
     def test_point_static_seed(self, capsys):
         assert main(["--instructions", "4000", "point", "compress",

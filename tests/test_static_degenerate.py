@@ -1,0 +1,189 @@
+"""Degenerate and irreducible CFGs through the whole static pipeline.
+
+Recovery, dominators, dataflow and the verifier must terminate and
+produce identical results run-to-run on the shapes the generator never
+emits but mutation/fuzzing can: self-loops, multi-entry (irreducible)
+loops, unreachable-but-linked code, and empty procedures.  Property
+tests draw small arbitrary control-flow skeletons; a subprocess test
+pins PYTHONHASHSEED-independence of the whole analyze/predict output.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa import assemble
+from repro.program import ProgramImage
+from repro.static import (
+    StaticFacts,
+    analyze_image,
+    irreducible_components,
+    verify_image,
+)
+
+SRC = str(Path(__file__).resolve().parent.parent / "src")
+BASE = 0x1000
+
+
+def _image(source: str, procs: list[str]) -> ProgramImage:
+    insts, labels = assemble(source, base=BASE)
+    return ProgramImage(instructions=insts, code_base=BASE, entry=BASE,
+                        labels={p: labels[p] for p in procs})
+
+
+def _solve_everything(image: ProgramImage) -> dict:
+    """Every analysis over every procedure; returns comparable state."""
+    facts = StaticFacts(image)
+    state: dict = {}
+    for proc in facts.cfg.procedures:
+        live = facts.liveness(proc)
+        reach = facts.reaching(proc)
+        const = facts.constants(proc)
+        assert live.converged and reach.converged
+        state[proc.name] = (
+            live.in_facts, live.out_facts,
+            reach.in_facts, reach.out_facts,
+            repr(sorted(const.in_facts.items(),
+                        key=lambda kv: kv[0])),
+            facts.dominators(proc).idom,
+            sorted(facts.trip_bounds(proc)),
+        )
+    return state
+
+
+class TestDegenerateShapes:
+    def test_self_loop(self):
+        image = _image("""
+        main:
+        loop:
+            addi r1, r1, 1
+            j loop
+        """, ["main"])
+        state = _solve_everything(image)
+        assert verify_image(image).findings is not None
+        assert state == _solve_everything(image)
+
+    def test_empty_procedure(self):
+        """Two labels at one address: the first procedure is empty."""
+        image = _image("""
+        main:
+            jal f
+            halt
+        f:
+        g:
+            jr ra
+        """, ["main", "f", "g"])
+        facts = StaticFacts(image)
+        f = facts.cfg.procedure("f")
+        assert f.start == f.end                    # genuinely empty
+        _solve_everything(image)
+        assert verify_image(image).ok
+
+    def test_unreachable_but_linked_block(self):
+        image = _image("""
+        main:
+            halt
+            addi r1, r0, 1
+            j main
+        """, ["main"])
+        _solve_everything(image)
+        report = verify_image(image)
+        assert "DC001" in {f.rule_id for f in report.findings}
+
+    def test_multi_entry_loop_is_irreducible_but_converges(self):
+        image = _image("""
+        f:
+            bne r1, r0, b
+        a:
+            addi r2, r2, 1
+            j b
+        b:
+            addi r2, r2, 2
+            beq r2, r3, done
+            j a
+        done:
+            jr ra
+        """, ["f"])
+        facts = StaticFacts(image)
+        proc = facts.cfg.procedure("f")
+        assert irreducible_components(facts.dominators(proc))
+        state = _solve_everything(image)
+        assert state == _solve_everything(image)
+        assert "CF001" in {f.rule_id
+                           for f in verify_image(image).findings}
+
+
+@st.composite
+def _programs(draw) -> str:
+    """Small arbitrary control-flow skeletons: every instruction is
+    labelled so branches/jumps can target any point, producing
+    self-loops, irreducible regions and unreachable blocks freely."""
+    n = draw(st.integers(min_value=1, max_value=10))
+    lines = ["main:"]
+    for i in range(n):
+        lines.append(f"L{i}:")
+        kind = draw(st.sampled_from(["alu", "branch", "jump"]))
+        if kind == "alu":
+            rd = draw(st.integers(1, 6))
+            rs = draw(st.integers(0, 6))
+            imm = draw(st.integers(-4, 4))
+            lines.append(f"    addi r{rd}, r{rs}, {imm}")
+        elif kind == "branch":
+            a = draw(st.integers(0, 6))
+            b = draw(st.integers(0, 6))
+            target = draw(st.integers(0, n - 1))
+            lines.append(f"    beq r{a}, r{b}, L{target}")
+        else:
+            target = draw(st.integers(0, n - 1))
+            lines.append(f"    j L{target}")
+    lines.append("    halt")
+    return "\n".join(lines)
+
+
+class TestArbitraryControlFlow:
+    @settings(max_examples=30, deadline=None)
+    @given(source=_programs())
+    def test_fixpoints_terminate(self, source):
+        image = _image(source, ["main"])
+        _solve_everything(image)            # asserts convergence inside
+        verify_image(image)                 # and no rule crashes
+
+    @settings(max_examples=15, deadline=None)
+    @given(source=_programs())
+    def test_run_to_run_identity(self, source):
+        image_a = _image(source, ["main"])
+        image_b = _image(source, ["main"])
+        assert _solve_everything(image_a) == _solve_everything(image_b)
+        report_a = analyze_image(image_a, name="prop")
+        report_b = analyze_image(image_b, name="prop")
+        assert report_a.to_json() == report_b.to_json()
+
+
+class TestHashseedDeterminism:
+    """Satellite: the whole static pipeline — dominators, dataflow,
+    verifier, predictor — is byte-identical across interpreters with
+    different PYTHONHASHSEED (mirrors the workload-generator check)."""
+
+    SNIPPET = (
+        "import hashlib, json;"
+        "from repro.api import analyze, predict;"
+        "a = analyze({name!r}).to_json();"
+        "p = json.dumps(predict({name!r}).to_dict(), sort_keys=True);"
+        "print(hashlib.sha256((a + p).encode()).hexdigest())"
+    )
+
+    def _digest_in_subprocess(self, name: str, hashseed: str) -> str:
+        proc = subprocess.run(
+            [sys.executable, "-c", self.SNIPPET.format(name=name)],
+            capture_output=True, text=True, check=True,
+            env={"PYTHONPATH": SRC, "PYTHONHASHSEED": hashseed,
+                 "PATH": "/usr/bin:/bin"})
+        return proc.stdout.strip()
+
+    def test_analyze_and_predict_hashseed_independent(self):
+        first = self._digest_in_subprocess("compress", "1")
+        second = self._digest_in_subprocess("compress", "4242")
+        assert first == second

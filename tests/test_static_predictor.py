@@ -1,0 +1,122 @@
+"""Tests for the static trace-coverage predictor (`repro predict`).
+
+The load-bearing property is *containment*: every trace start point
+and every committed pc of a real execution must appear in the static
+prediction.  The golden file pins the prediction for all eight SPEC
+stand-ins so any behavioural drift in delimitation shows up as a CI
+diff rather than a silent change.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+import repro.static.predictor as predictor_mod
+from repro.check.oracles import CheckBundle
+from repro.static import (
+    CoveragePrediction,
+    StaticFacts,
+    format_prediction,
+    predict_coverage,
+)
+from repro.workloads import SPEC95_NAMES, build_workload, profile_for
+
+GOLDEN = Path(__file__).parent / "golden" / "predict_spec95.json"
+BUDGET = 3_000
+
+
+@pytest.fixture(scope="module")
+def compress_prediction() -> CoveragePrediction:
+    return predict_coverage(build_workload("compress").image)
+
+
+class TestContainment:
+    @pytest.mark.parametrize("name", ["compress", "gcc", "fuzz-7"])
+    def test_dynamic_run_is_contained(self, name):
+        """Every dynamic trace start and executed pc is predicted."""
+        bundle = CheckBundle(profile_for(name), BUDGET)
+        prediction = predict_coverage(bundle.image,
+                                      config=bundle.config.selection)
+        assert prediction.complete
+        starts = {trace.start_pc for trace in bundle.traces}
+        missing_starts = {pc for pc in starts
+                          if not prediction.predicts_start(pc)}
+        assert missing_starts == set()
+        executed = {record.pc for record in bundle.stream}
+        assert {pc for pc in executed
+                if not prediction.covers(pc)} == set()
+
+    def test_no_gross_overapproximation(self, compress_prediction):
+        """Predicted coverage never strays outside static reachability."""
+        stray = (compress_prediction.covered_pcs
+                 - compress_prediction.live_pcs)
+        assert stray == set()
+        assert compress_prediction.overapproximation_ratio <= 1.0
+
+
+class TestGoldenFile:
+    def test_pinned_predictions_match_regeneration(self):
+        golden = json.loads(GOLDEN.read_text())
+        assert sorted(golden) == sorted(SPEC95_NAMES)
+        for name in SPEC95_NAMES:
+            fresh = predict_coverage(build_workload(name).image)
+            assert fresh.summary_dict() == golden[name], (
+                f"{name}: static prediction drifted from the golden "
+                f"file; regenerate tests/golden/predict_spec95.json "
+                f"if the change is intentional")
+
+
+class TestPredictionShape:
+    def test_entry_region_leads_and_starts_are_unique(
+            self, compress_prediction):
+        regions = compress_prediction.regions
+        assert regions[0].kind == "entry"
+        pcs = [r.start_pc for r in regions]
+        assert len(pcs) == len(set(pcs))
+        assert all(r.trace_count >= 0 for r in regions)
+
+    def test_start_points_are_covered_and_live(self, compress_prediction):
+        assert compress_prediction.start_pcs \
+            <= compress_prediction.covered_pcs
+        assert compress_prediction.entry in compress_prediction.start_pcs
+
+    def test_to_dict_roundtrips_through_json(self, compress_prediction):
+        payload = compress_prediction.to_dict()
+        assert json.loads(json.dumps(payload, sort_keys=True)) == payload
+
+    def test_determinism(self):
+        a = predict_coverage(build_workload("ijpeg").image)
+        b = predict_coverage(build_workload("ijpeg").image)
+        assert a.to_dict() == b.to_dict()
+
+    def test_format_prediction_headline(self, compress_prediction):
+        text = format_prediction(compress_prediction, name="compress")
+        assert text.startswith("static coverage prediction: compress")
+        assert "trace start points" in text
+        assert "exploration complete" in text
+
+
+class TestBudgets:
+    def test_exhausted_state_budget_marks_incomplete(self, monkeypatch):
+        monkeypatch.setattr(predictor_mod, "MAX_TOTAL_STATES", 3)
+        image = build_workload("compress").image
+        prediction = predict_coverage(image)
+        assert not prediction.complete
+
+    def test_region_truncation_is_flagged_not_silent(self, monkeypatch):
+        monkeypatch.setattr(predictor_mod, "MAX_REGION_STATES", 1)
+        image = build_workload("compress").image
+        prediction = predict_coverage(image)
+        # Region budgets never weaken the whole-image claim ...
+        assert prediction.complete
+        # ... but every clamped region must say so.
+        assert any(r.truncated for r in prediction.regions)
+
+    def test_shared_facts_are_reused(self):
+        image = build_workload("compress").image
+        facts = StaticFacts(image)
+        prediction = predict_coverage(image, facts=facts)
+        # The facts instance supplied is the one used (cfg memoised).
+        assert facts.cfg.procedures
+        assert prediction.trace_count > 0

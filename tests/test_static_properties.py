@@ -6,7 +6,7 @@ import dataclasses
 import pytest
 
 from repro.cli import main
-from repro.static import analyze_image, verify_image
+from repro.static import Severity, analyze_image, verify_image
 from repro.workloads import SPEC95_NAMES
 from repro.workloads.generator import generate
 from repro.workloads.spec95 import SPEC95_PROFILES
@@ -20,10 +20,13 @@ def test_every_profile_and_seed_verifies_clean(name, offset):
     profile = SPEC95_PROFILES[name]
     profile = dataclasses.replace(profile, seed=profile.seed + offset)
     # generate() itself gates on ERROR findings; assert the stronger
-    # property that there are no findings of any severity.
+    # property that there are no ERROR or WARNING findings.  INFO is
+    # allowed: generator filler emits write-after-write stores (DF002)
+    # by design, and fuzz-style degenerate loops are legal.
     workload = generate(profile)
     report = verify_image(workload.image, intents=workload.branch_intents)
-    assert report.findings == []
+    assert [f for f in report.findings
+            if f.severity is not Severity.INFO] == []
 
 
 @pytest.mark.parametrize("name", SPEC95_NAMES)
