@@ -15,7 +15,11 @@ the static split in place.  The result is reported for the record.
 from __future__ import annotations
 
 from conftest import run_once
-from repro.api import build_frontend_config, run_dynamic_frontend, run_frontend
+from repro.api import (
+    DynamicPartitionConfig,
+    build_frontend_config,
+    run_frontend,
+)
 
 TOTAL = 512
 STATIC_PBS = (32, 128, 256)
@@ -33,8 +37,10 @@ def test_dynamic_vs_static_partitions(benchmark, stream_cache):
                 result = run_frontend(image, config, len(stream),
                                       stream=stream)
                 statics[pb] = result.stats.trace_miss_rate_per_ki
-            dynamic, events = run_dynamic_frontend(
-                image, build_frontend_config(TOTAL - 128, 128), stream)
+            dynamic = run_frontend(
+                image, build_frontend_config(TOTAL - 128, 128),
+                stream=stream, partition=DynamicPartitionConfig())
+            events = dynamic.partition_events or []
             rows[name] = (statics, dynamic.stats.trace_miss_rate_per_ki,
                           [event.pb_entries for event in events])
         return rows

@@ -18,7 +18,6 @@ from repro.api import (
     DynamicPartitionConfig,
     StreamCache,
     build_frontend_config,
-    run_dynamic_frontend,
     run_frontend,
 )
 
@@ -38,9 +37,10 @@ def main() -> None:
             result = run_frontend(image, config, len(stream), stream=stream)
             print(f"static  TC={TOTAL - pb:3d} PB={pb:3d}: "
                   f"{result.stats.trace_miss_rate_per_ki:6.2f} miss/KI")
-        result, events = run_dynamic_frontend(
-            image, build_frontend_config(TOTAL - 128, 128), stream,
-            DynamicPartitionConfig(total_entries=TOTAL))
+        result = run_frontend(
+            image, build_frontend_config(TOTAL - 128, 128), stream=stream,
+            partition=DynamicPartitionConfig(total_entries=TOTAL))
+        events = result.partition_events or []
         print(f"dynamic (start PB=128):  "
               f"{result.stats.trace_miss_rate_per_ki:6.2f} miss/KI")
         print(f"  PB trajectory: "

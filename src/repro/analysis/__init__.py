@@ -8,6 +8,15 @@ uniformly.  The ``*_specs`` / ``*_from_results`` pairs let callers
 """
 
 from repro.analysis.charts import bar_chart, series_table
+from repro.analysis.compare import (
+    COMPARE_PB_SIZES,
+    CompareRow,
+    compare_from_results,
+    compare_specs,
+    compare_sweep,
+    format_compare,
+    rows_to_dicts,
+)
 from repro.analysis.figures import (
     ExtendedPipelineResult,
     SpeedupResult,
@@ -37,8 +46,6 @@ from repro.analysis.sweeps import (
     figure5_points,
     figure5_specs,
     figure5_sweep,
-    frontend_config,
-    processor_config,
     run_frontend_point,
     run_processor_point,
 )
@@ -59,8 +66,9 @@ __all__ = [
     "format_figure6", "format_figure8", "FIGURE5_PB_SIZES",
     "FIGURE5_TC_SIZES", "Figure5Point", "StreamCache",
     "default_instructions", "figure5_points", "figure5_specs",
-    "figure5_sweep", "frontend_config", "processor_config",
-    "run_frontend_point", "run_processor_point",
+    "figure5_sweep", "run_frontend_point", "run_processor_point",
+    "COMPARE_PB_SIZES", "CompareRow", "compare_from_results",
+    "compare_specs", "compare_sweep", "format_compare", "rows_to_dicts",
     "TableRow", "TablesResult", "compute_tables", "format_all_tables",
     "format_table", "tables_from_results", "tables_specs",
     "ExperimentRecord", "ResultSet",

@@ -8,9 +8,10 @@ across worker processes (``jobs``).  The ``*_specs`` builders and
 ``*_points`` assemblers are exposed separately so ``repro all`` can
 batch every exhibit's specs through one scheduler pass.
 
-The legacy loose-kwargs helpers (``frontend_config(tc, pb, ...)``,
-``run_frontend_point(cache, benchmark, tc, ...)``) still work but emit
-:class:`DeprecationWarning`; pass an :class:`ExperimentSpec` instead.
+The loose-kwargs helpers deprecated in the runner redesign
+(``frontend_config(tc, pb, ...)``, ``run_frontend_point(cache,
+benchmark, tc, ...)``) have been **removed** after their
+``DeprecationWarning`` cycle; the point runners are spec-only now.
 
 The per-run instruction budget follows one precedence order —
 explicit value > ``REPRO_INSTRUCTIONS`` env > built-in default — see
@@ -19,32 +20,25 @@ explicit value > ``REPRO_INSTRUCTIONS`` env > built-in default — see
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass
 from typing import Iterable, Optional, Sequence
 
-from repro.processor import ProcessorConfig, ProcessorStats, run_processor
+from repro.processor import ProcessorStats, run_processor
 from repro.runner import (
     ExperimentSpec,
     ResultCache,
     RunResult,
     StreamCache,
-    build_frontend_config,
-    build_processor_config,
     resolve_instructions,
     sweep,
 )
-from repro.sim import FrontendConfig, FrontendStats, run_frontend
+from repro.sim import FrontendStats, run_frontend
 
 __all__ = [
     "FIGURE5_PB_SIZES", "FIGURE5_TC_SIZES", "Figure5Point", "StreamCache",
     "default_instructions", "figure5_points", "figure5_specs",
-    "figure5_sweep", "frontend_config", "processor_config",
-    "run_frontend_point", "run_processor_point",
+    "figure5_sweep", "run_frontend_point", "run_processor_point",
 ]
-
-_SPEC_HINT = ("build a repro.api.ExperimentSpec and pass it instead "
-              "(see README 'The repro.api surface')")
 
 
 def default_instructions() -> int:
@@ -57,65 +51,16 @@ def default_instructions() -> int:
 
 
 # ----------------------------------------------------------------------
-# Configuration builders (spec-first; loose kwargs deprecated)
+# Single-point runners (spec-only)
 # ----------------------------------------------------------------------
-def frontend_config(tc_entries, pb_entries: int = 0,
-                    static_seed: bool = False) -> FrontendConfig:
-    """Standard frontend configuration for a TC/PB size point.
-
-    Preferred form: ``frontend_config(spec)`` with an
-    :class:`ExperimentSpec`.  The positional ``(tc_entries, pb_entries,
-    static_seed)`` form is deprecated.
-    """
-    if isinstance(tc_entries, ExperimentSpec):
-        return tc_entries.frontend_config()
-    warnings.warn(
-        "frontend_config(tc_entries, pb_entries, static_seed) is "
-        f"deprecated; {_SPEC_HINT}", DeprecationWarning, stacklevel=2)
-    return build_frontend_config(tc_entries, pb_entries,
-                                 static_seed=static_seed)
-
-
-def processor_config(tc_entries, pb_entries: int = 0,
-                     preprocess: bool = False) -> ProcessorConfig:
-    """Standard full-processor configuration for Figures 6/8.
-
-    Preferred form: ``processor_config(spec)`` with an
-    :class:`ExperimentSpec`; the positional form is deprecated.
-    """
-    if isinstance(tc_entries, ExperimentSpec):
-        return tc_entries.processor_config()
-    warnings.warn(
-        "processor_config(tc_entries, pb_entries, preprocess) is "
-        f"deprecated; {_SPEC_HINT}", DeprecationWarning, stacklevel=2)
-    return build_processor_config(tc_entries, pb_entries,
-                                  preprocess=preprocess)
-
-
-# ----------------------------------------------------------------------
-# Single-point runners (spec-first; loose kwargs deprecated)
-# ----------------------------------------------------------------------
-def _coerce_frontend_spec(cache: StreamCache, benchmark, tc_entries,
-                          pb_entries, static_seed, caller) -> ExperimentSpec:
-    if isinstance(benchmark, ExperimentSpec):
-        return benchmark
-    warnings.warn(
-        f"{caller}(cache, benchmark, tc_entries, ...) is deprecated; "
-        f"{_SPEC_HINT}", DeprecationWarning, stacklevel=3)
-    return ExperimentSpec(benchmark=benchmark, tc_entries=tc_entries,
-                          pb_entries=pb_entries, static_seed=static_seed,
-                          instructions=cache.instructions)
-
-
-def run_frontend_point(cache: StreamCache, benchmark,
-                       tc_entries: Optional[int] = None, pb_entries: int = 0,
-                       static_seed: bool = False) -> FrontendStats:
-    """One frontend simulation at a (benchmark, TC, PB) point.
-
-    Preferred form: ``run_frontend_point(cache, spec)``.
-    """
-    spec = _coerce_frontend_spec(cache, benchmark, tc_entries, pb_entries,
-                                 static_seed, "run_frontend_point")
+def run_frontend_point(cache: StreamCache, spec: ExperimentSpec,
+                       *legacy_args, **legacy_kwargs) -> FrontendStats:
+    """One frontend simulation at ``spec``'s configuration point."""
+    if legacy_args or legacy_kwargs or not isinstance(spec, ExperimentSpec):
+        raise TypeError(
+            "run_frontend_point(cache, benchmark, tc_entries, ...) was "
+            "removed; build a repro.api.ExperimentSpec and pass it "
+            "instead (see README 'The repro.api surface')")
     result = run_frontend(cache.image(spec.benchmark, spec.workload_seed),
                           spec.frontend_config(),
                           min(spec.instructions, cache.instructions),
@@ -124,23 +69,14 @@ def run_frontend_point(cache: StreamCache, benchmark,
     return result.stats
 
 
-def run_processor_point(cache: StreamCache, benchmark,
-                        tc_entries: Optional[int] = None, pb_entries: int = 0,
-                        preprocess: bool = False) -> ProcessorStats:
-    """One full-processor simulation at a configuration point.
-
-    Preferred form: ``run_processor_point(cache, spec)``.
-    """
-    if isinstance(benchmark, ExperimentSpec):
-        spec = benchmark
-    else:
-        warnings.warn(
-            "run_processor_point(cache, benchmark, tc_entries, ...) is "
-            f"deprecated; {_SPEC_HINT}", DeprecationWarning, stacklevel=2)
-        spec = ExperimentSpec(benchmark=benchmark, tc_entries=tc_entries,
-                              pb_entries=pb_entries, preprocess=preprocess,
-                              kind="processor",
-                              instructions=cache.instructions)
+def run_processor_point(cache: StreamCache, spec: ExperimentSpec,
+                        *legacy_args, **legacy_kwargs) -> ProcessorStats:
+    """One full-processor simulation at ``spec``'s configuration point."""
+    if legacy_args or legacy_kwargs or not isinstance(spec, ExperimentSpec):
+        raise TypeError(
+            "run_processor_point(cache, benchmark, tc_entries, ...) was "
+            "removed; build a repro.api.ExperimentSpec and pass it "
+            "instead (see README 'The repro.api surface')")
     result = run_processor(cache.image(spec.benchmark, spec.workload_seed),
                            spec.processor_config(),
                            min(spec.instructions, cache.instructions),

@@ -26,9 +26,18 @@ The surface, by layer:
   for one profile), :func:`run_fuzz` (seeded sweep behind
   ``python -m repro fuzz``), :func:`minimize_case` (failure shrinking),
   :func:`oracle_names`;
-* **Simulators** (for bespoke studies) — :func:`run_frontend`,
-  :func:`run_processor`, :func:`run_dynamic_frontend` and their
-  configuration types;
+* **Simulators** (for bespoke studies) — :func:`run_frontend` (the
+  unified entry point: ``mechanism=`` selects the frontend mechanism,
+  ``partition=`` enables the dynamic TC/PB partition) and
+  :func:`run_processor` with their configuration types
+  (:func:`run_dynamic_frontend` remains as a deprecated shim);
+* **Frontend-mechanism zoo** — :class:`FrontendMechanism` (the seam
+  every competing frontend implements), :class:`MechanismContext`,
+  :func:`register_mechanism` / :func:`mechanism_names` /
+  :func:`create_mechanism` (the registry), plus the head-to-head
+  comparison drivers :func:`compare_sweep`, :func:`compare_specs`,
+  :func:`compare_from_results`, :func:`format_compare`,
+  :func:`rows_to_dicts` behind ``python -m repro compare``;
 * **Observability** — :func:`run_observed`, :class:`ObsBus`, the
   event sinks, :class:`IntervalMetrics`, :func:`build_manifest`,
   :func:`write_perfetto` / :func:`validate_chrome_trace`, and the
@@ -44,14 +53,21 @@ through a ``DeprecationWarning`` cycle first.
 from __future__ import annotations
 
 from repro.analysis import (
+    COMPARE_PB_SIZES,
+    CompareRow,
+    compare_from_results,
+    compare_specs,
+    compare_sweep,
     compute_tables,
     figure5_sweep,
     figure6,
     figure8,
     format_all_tables,
+    format_compare,
     format_figure5,
     format_figure6,
     format_figure8,
+    rows_to_dicts,
 )
 from repro.branch import BimodalPredictor
 from repro.caches import InstructionCache
@@ -67,6 +83,13 @@ from repro.check import (
 )
 from repro.core import PreconstructionConfig, PreconstructionEngine
 from repro.engine import FunctionalEngine
+from repro.frontends import (
+    FrontendMechanism,
+    MechanismContext,
+    create_mechanism,
+    mechanism_names,
+    register_mechanism,
+)
 from repro.isa import assemble
 from repro.obs import (
     IntervalMetrics,
@@ -151,35 +174,88 @@ def predict(benchmark: str, *,
     return predict_coverage(workload.image)
 
 
+# Sorted alphabetically (ASCII order); tests/test_api_surface.py keeps
+# this list in lockstep with the README's documented surface.
 __all__ = [
-    # experiment description & execution
-    "DEFAULT_INSTRUCTIONS", "ExperimentRunner", "ExperimentSpec",
-    "ResultCache", "RunResult", "StreamCache", "TimingReport",
-    "resolve_instructions", "run_point", "sweep",
-    # workloads
-    "SPEC95_NAMES", "WorkloadProfile", "build_workload", "fuzz_profile",
-    "generate", "profile_for",
-    # differential validation
-    "CheckReport", "FuzzReport", "MinimizedCase", "Violation",
-    "check_profile", "minimize_case", "oracle_names", "run_fuzz",
-    # static analysis
-    "CoveragePrediction", "StaticAnalysisReport", "StaticFacts",
-    "analyze", "analyze_image", "predict", "predict_coverage",
-    # simulators
-    "DynamicPartitionConfig", "FrontendConfig", "ProcessorConfig",
-    "build_frontend_config", "build_processor_config",
-    "run_dynamic_frontend", "run_frontend", "run_processor",
-    # observability
-    "IntervalMetrics", "JsonlSink", "NullSink", "ObsBus", "ObservedRun",
-    "RingBufferSink", "build_manifest", "configure_logging", "get_logger",
-    "run_observed", "run_observed_many", "validate_chrome_trace",
-    "write_perfetto",
-    # exhibit drivers
-    "compute_tables", "figure5_sweep", "figure6", "figure8",
-    "format_all_tables", "format_figure5", "format_figure6",
+    "BimodalPredictor",
+    "COMPARE_PB_SIZES",
+    "CheckReport",
+    "CompareRow",
+    "CoveragePrediction",
+    "DEFAULT_INSTRUCTIONS",
+    "DynamicPartitionConfig",
+    "ExperimentRunner",
+    "ExperimentSpec",
+    "FrontendConfig",
+    "FrontendMechanism",
+    "FunctionalEngine",
+    "FuzzReport",
+    "InstructionCache",
+    "IntervalMetrics",
+    "JsonlSink",
+    "MechanismContext",
+    "MinimizedCase",
+    "NullSink",
+    "ObsBus",
+    "ObservedRun",
+    "PreconstructionConfig",
+    "PreconstructionEngine",
+    "ProcessorConfig",
+    "ProgramImage",
+    "ResultCache",
+    "RingBufferSink",
+    "RunResult",
+    "SPEC95_NAMES",
+    "StaticAnalysisReport",
+    "StaticFacts",
+    "StreamCache",
+    "TimingReport",
+    "TraceCache",
+    "Violation",
+    "WorkloadProfile",
+    "analyze",
+    "analyze_image",
+    "assemble",
+    "build_frontend_config",
+    "build_manifest",
+    "build_processor_config",
+    "build_workload",
+    "check_profile",
+    "compare_from_results",
+    "compare_specs",
+    "compare_sweep",
+    "compute_tables",
+    "configure_logging",
+    "create_mechanism",
+    "figure5_sweep",
+    "figure6",
+    "figure8",
+    "format_all_tables",
+    "format_compare",
+    "format_figure5",
+    "format_figure6",
     "format_figure8",
-    # building blocks
-    "BimodalPredictor", "FunctionalEngine", "InstructionCache",
-    "PreconstructionConfig", "PreconstructionEngine", "ProgramImage",
-    "TraceCache", "assemble", "traces_of_stream",
+    "fuzz_profile",
+    "generate",
+    "get_logger",
+    "mechanism_names",
+    "minimize_case",
+    "oracle_names",
+    "predict",
+    "predict_coverage",
+    "profile_for",
+    "register_mechanism",
+    "resolve_instructions",
+    "rows_to_dicts",
+    "run_dynamic_frontend",
+    "run_frontend",
+    "run_fuzz",
+    "run_observed",
+    "run_observed_many",
+    "run_point",
+    "run_processor",
+    "sweep",
+    "traces_of_stream",
+    "validate_chrome_trace",
+    "write_perfetto",
 ]

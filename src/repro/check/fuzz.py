@@ -3,9 +3,9 @@
 One fuzz *case* is an ``ExperimentSpec(kind="check")`` whose benchmark
 is a ``fuzz-<seed>`` name: the profile is a pure function of the seed
 (:func:`repro.workloads.fuzz.fuzz_profile`) and the frontend sizing
-(trace-cache / preconstruction-buffer entries, static seeding) is
-sampled from the same seed here, so the whole case — and therefore its
-verdict — is content-addressable.  A warm rerun of
+(trace-cache / mechanism-budget entries, static seeding, frontend
+mechanism) is sampled from the same seed here, so the whole case — and
+therefore its verdict — is content-addressable.  A warm rerun of
 ``python -m repro fuzz`` over the same seed range serves every verdict
 from the :class:`~repro.runner.cache.ResultCache` without executing
 anything.
@@ -24,6 +24,7 @@ from typing import Any, Optional, Sequence
 
 from repro.check.harness import DEFAULT_CHECK_INSTRUCTIONS, resolve_oracles
 from repro.check.minimize import MinimizedCase, minimize_case
+from repro.frontends import mechanism_names
 from repro.runner import ExperimentRunner, ExperimentSpec, ResultCache, RunResult
 from repro.workloads import FUZZ_PREFIX, fuzz_profile
 
@@ -44,13 +45,25 @@ STATIC_SEED_PROB = 0.25
 def fuzz_case_spec(case_seed: int,
                    instructions: int = DEFAULT_CHECK_INSTRUCTIONS,
                    ) -> ExperimentSpec:
-    """The deterministic check spec for fuzz case ``case_seed``."""
+    """The deterministic check spec for fuzz case ``case_seed``.
+
+    The frontend mechanism is drawn from the seed like every other
+    sizing knob, so a fuzz sweep exercises the whole competing-frontend
+    zoo through the same oracle catalogue.  The draw comes *after* the
+    pre-existing ones so the tc/pb/static_seed sampled for a given seed
+    are unchanged across the schema bump.
+    """
     rng = random.Random((case_seed << 1) ^ _CONFIG_SALT)
+    tc_entries = rng.choice(TC_CHOICES)
+    pb_entries = rng.choice(PB_CHOICES)
+    static_seed = rng.random() < STATIC_SEED_PROB
+    mechanism = rng.choice(mechanism_names())
     return ExperimentSpec(
         benchmark=f"{FUZZ_PREFIX}{case_seed}",
-        tc_entries=rng.choice(TC_CHOICES),
-        pb_entries=rng.choice(PB_CHOICES),
-        static_seed=rng.random() < STATIC_SEED_PROB,
+        tc_entries=tc_entries,
+        pb_entries=pb_entries,
+        static_seed=static_seed,
+        mechanism=mechanism,
         kind="check",
         instructions=instructions)
 
@@ -199,7 +212,8 @@ def run_fuzz(seeds: int,
             failure.minimized = minimize_case(
                 fuzz_profile(case_seed), spec.instructions,
                 tc_entries=spec.tc_entries, pb_entries=spec.pb_entries,
-                static_seed=spec.static_seed, oracles=selected)
+                static_seed=spec.static_seed, mechanism=spec.mechanism,
+                oracles=selected)
             if failure.minimized is not None and out_dir is not None:
                 out_dir.mkdir(parents=True, exist_ok=True)
                 script = out_dir / f"repro_fuzz_{case_seed}.py"

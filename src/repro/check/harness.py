@@ -50,6 +50,7 @@ class CheckReport:
     pb_entries: int
     static_seed: bool
     oracles: tuple[str, ...]
+    mechanism: str = "preconstruction"
     violations: list[Violation] = field(default_factory=list)
     summary: dict[str, Any] = field(default_factory=dict)
 
@@ -99,8 +100,13 @@ def check_profile(profile: WorkloadProfile,
                   instructions: int = DEFAULT_CHECK_INSTRUCTIONS, *,
                   tc_entries: int = 128, pb_entries: int = 64,
                   static_seed: bool = False,
+                  mechanism: str = "preconstruction",
                   oracles: Optional[Sequence[str]] = None) -> CheckReport:
     """Run ``profile`` through the full stack and evaluate ``oracles``.
+
+    ``mechanism`` selects the frontend fill/prefetch mechanism the
+    timing legs run under (:mod:`repro.frontends`), so every mechanism
+    in the zoo inherits the cross-model invariants.
 
     A workload that fails the generator's verifier gate is itself a
     finding (pseudo-oracle ``"generate"``) — the remaining oracles are
@@ -109,9 +115,11 @@ def check_profile(profile: WorkloadProfile,
     selected = resolve_oracles(oracles)
     report = CheckReport(profile=profile, instructions=instructions,
                          tc_entries=tc_entries, pb_entries=pb_entries,
-                         static_seed=static_seed, oracles=selected)
+                         static_seed=static_seed, oracles=selected,
+                         mechanism=mechanism)
     bundle = CheckBundle(profile, instructions, tc_entries=tc_entries,
-                         pb_entries=pb_entries, static_seed=static_seed)
+                         pb_entries=pb_entries, static_seed=static_seed,
+                         mechanism=mechanism)
     try:
         bundle.workload
     except WorkloadVerificationError as error:
@@ -137,5 +145,6 @@ def execute_check(spec) -> dict[str, Any]:
     report = check_profile(profile, spec.instructions,
                            tc_entries=spec.tc_entries,
                            pb_entries=spec.pb_entries,
-                           static_seed=spec.static_seed)
+                           static_seed=spec.static_seed,
+                           mechanism=spec.mechanism)
     return report.to_metrics()

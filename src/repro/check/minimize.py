@@ -67,6 +67,7 @@ class MinimizedCase:
     tc_entries: int
     pb_entries: int
     static_seed: bool
+    mechanism: str
     failing_oracles: tuple[str, ...]
     report: CheckReport
     probes: int
@@ -114,6 +115,7 @@ class MinimizedCase:
             f"    tc_entries={self.tc_entries}, "
             f"pb_entries={self.pb_entries}, "
             f"static_seed={self.static_seed},\n"
+            f"    mechanism={self.mechanism!r},\n"
             f"    oracles=[{oracles}],\n"
             ")\n"
             "for violation in report.violations:\n"
@@ -135,6 +137,7 @@ def _failing(report: CheckReport) -> tuple[str, ...]:
 def minimize_case(profile: WorkloadProfile, instructions: int, *,
                   tc_entries: int = 128, pb_entries: int = 64,
                   static_seed: bool = False,
+                  mechanism: str = "preconstruction",
                   oracles: Optional[Sequence[str]] = None,
                   ) -> Optional[MinimizedCase]:
     """Shrink a failing case; ``None`` if it doesn't fail to begin with.
@@ -152,7 +155,7 @@ def minimize_case(profile: WorkloadProfile, instructions: int, *,
         probes += 1
         return check_profile(candidate, budget, tc_entries=tc_entries,
                              pb_entries=pb_entries, static_seed=static_seed,
-                             oracles=selected)
+                             mechanism=mechanism, oracles=selected)
 
     initial = probe(profile, instructions, oracles)
     if initial.ok:
@@ -196,6 +199,6 @@ def minimize_case(profile: WorkloadProfile, instructions: int, *,
     return MinimizedCase(
         profile=best_profile, instructions=best_budget,
         tc_entries=tc_entries, pb_entries=pb_entries,
-        static_seed=static_seed,
+        static_seed=static_seed, mechanism=mechanism,
         failing_oracles=failing, report=best_report, probes=probes,
         original_instructions=instructions, original_knobs=original_knobs)

@@ -114,13 +114,14 @@ class CheckBundle:
     """Lazily-built execution legs of one differential-validation case.
 
     Everything is a pure function of ``(profile, instructions,
-    tc_entries, pb_entries, static_seed)``; legs are cached so several
-    oracles can share them.
+    tc_entries, pb_entries, static_seed, mechanism)``; legs are cached
+    so several oracles can share them.
     """
 
     def __init__(self, profile: WorkloadProfile, instructions: int, *,
                  tc_entries: int = 128, pb_entries: int = 64,
-                 static_seed: bool = False) -> None:
+                 static_seed: bool = False,
+                 mechanism: str = "preconstruction") -> None:
         if instructions <= 0:
             raise ValueError("instructions must be positive")
         self.profile = profile
@@ -128,6 +129,7 @@ class CheckBundle:
         self.tc_entries = tc_entries
         self.pb_entries = pb_entries
         self.static_seed = static_seed
+        self.mechanism = mechanism
 
     # -- workload / architectural legs ---------------------------------
     @cached_property
@@ -159,7 +161,8 @@ class CheckBundle:
     @property
     def config(self):
         return build_frontend_config(self.tc_entries, self.pb_entries,
-                                     static_seed=self.static_seed)
+                                     static_seed=self.static_seed,
+                                     mechanism=self.mechanism)
 
     @cached_property
     def traces(self):
@@ -196,9 +199,10 @@ class CheckBundle:
 
     @cached_property
     def flipped_run(self):
-        """Frontend replay with preconstruction toggled the other way."""
+        """Frontend replay with the mechanism toggled the other way."""
         flipped_pb = 0 if self.pb_entries else 64
-        config = build_frontend_config(self.tc_entries, flipped_pb)
+        config = build_frontend_config(self.tc_entries, flipped_pb,
+                                       mechanism=self.mechanism)
         return run_frontend(self.image, config, self.instructions,
                             traces=self.traces)
 
@@ -392,12 +396,12 @@ def check_metamorphic(bundle: CheckBundle) -> list[Violation]:
                      observed.get(key), plain[key])
         claims.equal(f"stream-fed == trace-partition-fed for {key}",
                      stream_fed.get(key), plain[key])
-    # Preconstruction changes timing, never architecture: the committed
-    # instruction count and the trace partition are invariant.
+    # The frontend mechanism changes timing, never architecture: the
+    # committed instruction count and the trace partition are invariant.
     flipped = bundle.flipped_run.stats
-    claims.equal("instructions invariant under preconstruction flip",
+    claims.equal("instructions invariant under mechanism flip",
                  flipped.instructions, bundle.plain_run.stats.instructions)
-    claims.equal("trace count invariant under preconstruction flip",
+    claims.equal("trace count invariant under mechanism flip",
                  flipped.traces, bundle.plain_run.stats.traces)
     return claims.done()
 

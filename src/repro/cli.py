@@ -13,6 +13,7 @@ Usage::
     python -m repro figure6 [--jobs N] [--benchmarks ...]
     python -m repro figure8 [--jobs N] [--benchmarks ...]
     python -m repro dynamic --benchmarks gcc go
+    python -m repro compare --benchmarks gcc --mechanisms preconstruction,mana
     python -m repro all --jobs 4 [--timing-report timing.json]
     python -m repro bench [--quick] [--check BENCH_hotpath.json]
     python -m repro fuzz --seeds 100 [--budget 8000] [--oracle NAME ...]
@@ -174,6 +175,29 @@ def _parser() -> argparse.ArgumentParser:
         cmd.add_argument("--stats-json", default=None, metavar="PATH",
                          help="dump every point's raw counter summary "
                               "as JSON")
+
+    from repro.frontends import mechanism_names
+
+    compare = sub.add_parser(
+        "compare", help="head-to-head frontend-mechanism comparison at "
+                        "equal storage budgets")
+    compare.add_argument("--benchmarks", nargs="+", choices=SPEC95_NAMES,
+                         default=["gcc"],
+                         help="benchmarks to compare on (default: gcc)")
+    compare.add_argument("--mechanisms", default=None, metavar="NAMES",
+                         help="comma-separated mechanism names "
+                              f"(default: all of "
+                              f"{','.join(mechanism_names())})")
+    compare.add_argument("--tc", type=int, default=256,
+                         help="trace cache entries (default: 256)")
+    compare.add_argument("--pb", type=int, nargs="+", default=None,
+                         metavar="N",
+                         help="mechanism storage budgets in 64-byte "
+                              "entries (default: 32 128 256)")
+    compare.add_argument("--jobs", type=int, default=1,
+                         help="worker processes (grouped by benchmark)")
+    compare.add_argument("--json", action="store_true",
+                         help="emit the comparison rows as JSON")
 
     allcmd = sub.add_parser(
         "all", help="regenerate every paper exhibit in one scheduler pass")
@@ -528,7 +552,12 @@ def main(argv: Sequence[str] | None = None) -> int:
         print(format_bench(payload))
         print(f"report written to {path}", file=sys.stderr)
         if args.check:
-            reference = json.loads(Path(args.check).read_text())
+            check_path = Path(args.check)
+            if not check_path.is_file():
+                print(f"bench --check: reference report not found: "
+                      f"{check_path}", file=sys.stderr)
+                return 1
+            reference = json.loads(check_path.read_text())
             problems = check_bench(payload, reference,
                                    tolerance=args.tolerance)
             if problems:
@@ -559,6 +588,35 @@ def main(argv: Sequence[str] | None = None) -> int:
         return 0 if fuzz_report.ok else 1
 
     instructions = resolve_instructions(args.instructions)
+    if args.command == "compare":
+        from repro.analysis import (
+            COMPARE_PB_SIZES,
+            compare_sweep,
+            format_compare,
+            rows_to_dicts,
+        )
+
+        cache = None if args.no_cache else ResultCache(args.cache_dir)
+        mechanisms = (None if args.mechanisms is None
+                      else [name.strip()
+                            for name in args.mechanisms.split(",")
+                            if name.strip()])
+        pb_sizes = tuple(args.pb) if args.pb else COMPARE_PB_SIZES
+        progress = stderr_progress if args.jobs > 1 else None
+        try:
+            rows = compare_sweep(args.benchmarks, mechanisms,
+                                 tc_entries=args.tc, pb_sizes=pb_sizes,
+                                 instructions=instructions, jobs=args.jobs,
+                                 result_cache=cache, progress=progress)
+        except ValueError as error:
+            print(f"compare: {error}", file=sys.stderr)
+            return 2
+        if args.json:
+            print(json.dumps(rows_to_dicts(rows), indent=2, sort_keys=True))
+        else:
+            print(format_compare(rows, instructions))
+        return 0
+
     if args.command == "stats":
         return _run_stats(args, instructions)
     if args.command == "trace":

@@ -1,0 +1,46 @@
+"""The competing-frontend zoo.
+
+One interface (:class:`FrontendMechanism`), four mechanisms behind it:
+
+==================  ====================================================
+``preconstruction``  The paper's idle-cycle-funded trace preconstruction
+                     (fills the trace cache / preconstruction buffers).
+``mana``             MANA-style record-replay I-cache prefetcher keyed
+                     on spatial-region triggers (arxiv 2102.01764).
+``pmap``             Program-map traversal fetcher walking the
+                     statically recovered CFG ahead of dispatch
+                     (arxiv 2406.06738).
+``nextline``         Next-N-line sequential prefetching — the classic
+                     storage-free baseline.
+==================  ====================================================
+
+Every mechanism plugs into the same simulation seam and the same
+area budget (``pb_entries``, 64-byte entries), so
+``repro compare`` sweeps are equal-area head-to-head comparisons.
+"""
+
+from repro.frontends.base import (
+    FrontendMechanism,
+    LinePrefetcher,
+    MechanismContext,
+    create_mechanism,
+    mechanism_names,
+    register_mechanism,
+)
+from repro.frontends.mana import ManaPrefetcher
+from repro.frontends.nextline import NextLinePrefetcher
+from repro.frontends.pmap import ProgramMapFetcher
+from repro.frontends.preconstruction import PreconstructionMechanism
+
+__all__ = [
+    "FrontendMechanism",
+    "LinePrefetcher",
+    "ManaPrefetcher",
+    "MechanismContext",
+    "NextLinePrefetcher",
+    "PreconstructionMechanism",
+    "ProgramMapFetcher",
+    "create_mechanism",
+    "mechanism_names",
+    "register_mechanism",
+]

@@ -1,0 +1,97 @@
+"""MANA-style record-replay instruction prefetching.
+
+After MANA (arxiv 2102.01764): the frontend's I-cache miss sequence is
+highly repetitive, so record it once and replay it ahead of fetch.
+The committed line stream is cut into *spatial regions* — a trigger
+line plus the lines touched within the next :data:`REGION_LINES`
+lines of address space.  Each region compresses into one record
+(trigger address + footprint bitmap ~ a few bytes, modelled here as
+one 64-byte storage entry).  When the dispatch stream re-enters a
+recorded trigger line, the stored footprint is replayed: its lines are
+queued and prefetched into the shared I-cache during idle slow-path
+cycles, so later slow-path fetches of that region hit.
+
+Differences from the real MANA kept deliberately simple: records chain
+implicitly through the dispatch stream (re-triggering on every region
+entry) instead of through explicit successor pointers, and the record
+table is plain LRU.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import ClassVar, Optional
+
+from repro.caches import InstructionCache
+from repro.frontends.base import (
+    LinePrefetcher,
+    MechanismContext,
+    register_mechanism,
+)
+from repro.trace import Trace
+
+#: Spatial-region span, in I-cache lines, starting at the trigger.
+REGION_LINES = 8
+
+
+@register_mechanism
+class ManaPrefetcher(LinePrefetcher):
+    """Record-replay prefetcher keyed on spatial-region triggers."""
+
+    name: ClassVar[str] = "mana"
+    icache_client: ClassVar[str] = "mana"
+
+    def __init__(self, icache: InstructionCache,
+                 budget_entries: int) -> None:
+        super().__init__(icache, budget_entries)
+        #: Trigger line -> footprint line set; LRU, one storage entry
+        #: per record, bounded by the budget (minus the request queue's
+        #: share — both live in the same area, split evenly).
+        self._records: OrderedDict[int, set[int]] = OrderedDict()
+        self._record_capacity = max(1, budget_entries // 2)
+        self.budget_entries = max(1, budget_entries - self._record_capacity)
+        self._region_base: Optional[int] = None
+        self._footprint: set[int] = set()
+        self.records_replayed = 0
+
+    @classmethod
+    def build(cls, context: MechanismContext) -> Optional["ManaPrefetcher"]:
+        if context.budget_entries <= 0:
+            return None
+        return cls(context.icache, context.budget_entries)
+
+    # ------------------------------------------------------------------
+    def observe_dispatch(self, trace: Trace) -> None:
+        line_bytes = self.icache.config.line_bytes
+        span = REGION_LINES * line_bytes
+        for line_addr in trace.lines(line_bytes):
+            base = self._region_base
+            if base is not None and 0 <= line_addr - base < span:
+                self._footprint.add(line_addr)
+                continue
+            # Region boundary: commit the finished record, replay the
+            # one recorded (if any) for the region being entered.
+            if base is not None:
+                self._commit(base, self._footprint)
+            self._region_base = line_addr
+            self._footprint = {line_addr}
+            recorded = self._records.get(line_addr)
+            if recorded is not None:
+                self._records.move_to_end(line_addr)
+                self.records_replayed += 1
+                for footprint_line in sorted(recorded):
+                    self.enqueue_line(footprint_line)
+
+    def _commit(self, trigger: int, footprint: set[int]) -> None:
+        existing = self._records.get(trigger)
+        if existing is not None:
+            existing |= footprint
+            self._records.move_to_end(trigger)
+            return
+        self._records[trigger] = set(footprint)
+        while len(self._records) > self._record_capacity:
+            self._records.popitem(last=False)
+
+    @property
+    def records_held(self) -> int:
+        return len(self._records)

@@ -1,0 +1,63 @@
+"""Next-N-line instruction prefetching: the classic baseline.
+
+On every slow-path trace fetch (a demand miss in trace-cache terms),
+queue the next :data:`NEXT_LINES` sequential I-cache lines after the
+trace's last line.  Sequential prefetching is the floor every
+sophisticated frontend mechanism must beat; it exploits straight-line
+code layout and nothing else.
+
+Storage model: next-line prefetching needs no history table — the
+budget only bounds the outstanding-request queue, so it is effectively
+the storage-free baseline of the zoo (Figure-5-style equal-area
+comparisons give it the same ``pb_entries`` budget as everyone else,
+which it uses only as queue depth).
+"""
+
+from __future__ import annotations
+
+from typing import ClassVar, Optional
+
+from repro.caches import InstructionCache
+from repro.frontends.base import (
+    LinePrefetcher,
+    MechanismContext,
+    register_mechanism,
+)
+from repro.trace import Trace
+
+#: Sequential lines queued after each slow-path trace.
+NEXT_LINES = 4
+
+
+@register_mechanism
+class NextLinePrefetcher(LinePrefetcher):
+    """Miss-triggered sequential (next-N-line) I-cache prefetcher."""
+
+    name: ClassVar[str] = "nextline"
+    icache_client: ClassVar[str] = "nextline"
+
+    def __init__(self, icache: InstructionCache, budget_entries: int,
+                 code_end: int) -> None:
+        super().__init__(icache, budget_entries)
+        self._code_end = code_end
+
+    @classmethod
+    def build(cls, context: MechanismContext
+              ) -> Optional["NextLinePrefetcher"]:
+        if context.budget_entries <= 0:
+            return None
+        return cls(context.icache, context.budget_entries,
+                   context.image.code_end)
+
+    # ------------------------------------------------------------------
+    def on_slow_path(self, trace: Trace) -> None:
+        line_bytes = self.icache.config.line_bytes
+        last_line = self.icache.line_address(trace.pcs[-1])
+        for step in range(1, NEXT_LINES + 1):
+            line_addr = last_line + step * line_bytes
+            if line_addr >= self._code_end:
+                break
+            self.enqueue_line(line_addr)
+
+    def observe_dispatch(self, trace: Trace) -> None:
+        """Purely miss-triggered: the dispatch stream is not consulted."""

@@ -1,0 +1,98 @@
+"""Program-map traversal fetching.
+
+After the high-level program-map fetcher of arxiv 2406.06738: instead
+of recording past miss behaviour, traverse a *map* of the program —
+here the statically recovered CFG from :mod:`repro.static` — ahead of
+the fetch point, pulling the lines of upcoming basic blocks into the
+I-cache before the slow path demands them.
+
+On every dispatched trace the walker starts at the trace's dynamic
+continuation (``trace.next_pc``, which for a trace ending in a call is
+the callee entry — the dynamic stream steers the traversal across
+procedure boundaries the intra-procedural map cannot follow) and walks
+breadth-first over block successors, queueing each visited block's
+lines.  Conditional paths fan out, so the walk explores both sides of
+every branch up to a budget-bounded frontier.
+
+Storage model: the map itself is program metadata (held off to the
+side, as the paper's proposal stores its map in memory); the area
+budget bounds the traversal frontier and request queue.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, ClassVar, Optional
+
+from repro.frontends.base import (
+    LinePrefetcher,
+    MechanismContext,
+    register_mechanism,
+)
+from repro.program import ProgramImage
+from repro.trace import Trace
+
+if TYPE_CHECKING:
+    from repro.caches import InstructionCache
+    from repro.static.recovery import RecoveredCFG
+
+#: Blocks visited per dispatched trace (the walk frontier), further
+#: clamped by the storage budget.
+MAX_BLOCKS_PER_WALK = 12
+
+
+@register_mechanism
+class ProgramMapFetcher(LinePrefetcher):
+    """BFS over the recovered CFG ahead of the dispatch point."""
+
+    name: ClassVar[str] = "pmap"
+    icache_client: ClassVar[str] = "pmap"
+
+    def __init__(self, icache: "InstructionCache", budget_entries: int,
+                 image: ProgramImage) -> None:
+        super().__init__(icache, budget_entries)
+        self._image = image
+        self._cfg: Optional["RecoveredCFG"] = None
+        self._walk_blocks = min(MAX_BLOCKS_PER_WALK, budget_entries)
+        self.blocks_walked = 0
+
+    @classmethod
+    def build(cls, context: MechanismContext
+              ) -> Optional["ProgramMapFetcher"]:
+        if context.budget_entries <= 0:
+            return None
+        return cls(context.icache, context.budget_entries, context.image)
+
+    # ------------------------------------------------------------------
+    @property
+    def cfg(self) -> "RecoveredCFG":
+        """The program map, recovered once on first use."""
+        if self._cfg is None:
+            from repro.static import recover_cfg
+            self._cfg = recover_cfg(self._image)
+        return self._cfg
+
+    def observe_dispatch(self, trace: Trace) -> None:
+        cfg = self.cfg
+        start_block = cfg.block_at(trace.next_pc)
+        if start_block is None:
+            return
+        line_bytes = self.icache.config.line_bytes
+        visited: set[int] = set()
+        frontier: deque[int] = deque([start_block.start])
+        while frontier and len(visited) < self._walk_blocks:
+            block_start = frontier.popleft()
+            if block_start in visited:
+                continue
+            block = cfg.blocks.get(block_start)
+            if block is None:
+                continue
+            visited.add(block_start)
+            line_addr = self.icache.line_address(block.start)
+            while line_addr < block.end:
+                self.enqueue_line(line_addr)
+                line_addr += line_bytes
+            for successor in block.successors:
+                if successor not in visited:
+                    frontier.append(successor)
+        self.blocks_walked += len(visited)

@@ -1,0 +1,62 @@
+"""Trace preconstruction behind the mechanism interface.
+
+A thin adapter over :class:`repro.core.PreconstructionEngine` — every
+hook delegates 1:1, so a run through the mechanism seam is
+byte-identical to the historical direct wiring.  The engine stays
+exposed as :attr:`engine` (and as ``FrontendResult.preconstruction``)
+because the dynamic-partition extension repartitions its buffers in
+place.
+"""
+
+from __future__ import annotations
+
+from typing import Any, ClassVar, Optional
+
+from repro.core import PreconstructionEngine
+from repro.frontends.base import (
+    FrontendMechanism,
+    MechanismContext,
+    register_mechanism,
+)
+from repro.trace import Trace, TraceID
+
+
+@register_mechanism
+class PreconstructionMechanism(FrontendMechanism):
+    """The paper's mechanism: idle-cycle-funded trace preconstruction."""
+
+    name: ClassVar[str] = "preconstruction"
+    icache_client: ClassVar[str] = "preconstruct"
+
+    def __init__(self, engine: PreconstructionEngine) -> None:
+        self.engine = engine
+
+    @classmethod
+    def build(cls, context: MechanismContext
+              ) -> Optional["PreconstructionMechanism"]:
+        if context.preconstruction is None:
+            return None
+        static_seeds: tuple[int, ...] = ()
+        if context.static_seed:
+            from repro.static.seeding import compute_static_seeds
+            static_seeds = tuple(
+                s.pc for s in compute_static_seeds(context.image))
+        return cls(PreconstructionEngine(
+            image=context.image, icache=context.icache,
+            bimodal=context.bimodal, trace_cache=context.trace_cache,
+            config=context.preconstruction,
+            selection=context.selection,
+            static_seeds=static_seeds))
+
+    # ------------------------------------------------------------------
+    def attach_obs(self, bus: Any) -> None:
+        self.engine.attach_obs(bus)
+
+    def probe(self, trace_id: TraceID) -> bool:
+        return self.engine.probe_and_promote(trace_id) is not None
+
+    def observe_dispatch(self, trace: Trace) -> None:
+        self.engine.observe_dispatch(trace)
+
+    def tick(self, idle_cycles: int) -> None:
+        self.engine.tick(idle_cycles)

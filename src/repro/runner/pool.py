@@ -36,7 +36,7 @@ from repro.obs.manifest import build_manifest
 from repro.processor import run_processor
 from repro.runner.cache import ResultCache
 from repro.runner.spec import ExperimentSpec, RunResult, resolve_instructions
-from repro.sim import run_dynamic_frontend, run_frontend
+from repro.sim import DynamicPartitionConfig, run_frontend
 from repro.workloads import build_workload
 
 Progress = Callable[[str], None]
@@ -147,8 +147,10 @@ def execute_spec(spec: ExperimentSpec,
                                spec.instructions, stream=stream)
         metrics = _processor_metrics(result.stats)
     else:  # dynamic
-        result, events = run_dynamic_frontend(
-            image, spec.frontend_config(), stream[:spec.instructions])
+        result = run_frontend(image, spec.frontend_config(),
+                              spec.instructions, stream=stream,
+                              partition=DynamicPartitionConfig())
+        events = result.partition_events or []
         metrics = {
             "trace_misses_per_ki": result.stats.trace_miss_rate_per_ki,
             "pb_trajectory": [event.pb_entries for event in events],

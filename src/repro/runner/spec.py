@@ -48,7 +48,10 @@ from repro.trace import TraceCacheConfig
 #: v3: ``kind="check"`` verdicts gain the static-vs-dynamic ``coverage``
 #: oracle (and the verifier behind the generate gate grew to 16 rules);
 #: verdicts cached under v2 would silently lack both.
-SPEC_SCHEMA_VERSION = 3
+#: v4: specs gain the ``mechanism`` field (the competing-frontend zoo)
+#: and ``kind="check"`` verdicts validate the spec's mechanism; the
+#: field participates in the digest, so every spec re-keys.
+SPEC_SCHEMA_VERSION = 4
 
 #: Built-in per-run instruction budget (the harness scale documented in
 #: EXPERIMENTS.md: the paper's 200M-instruction runs scaled down
@@ -75,13 +78,25 @@ def resolve_instructions(explicit: Optional[int] = None) -> int:
 
 
 def build_frontend_config(tc_entries: int, pb_entries: int = 0,
-                          static_seed: bool = False) -> FrontendConfig:
-    """Standard frontend configuration for a TC/PB size point."""
-    precon = (PreconstructionConfig(buffer_entries=pb_entries)
-              if pb_entries else None)
+                          static_seed: bool = False,
+                          mechanism: str = "preconstruction"
+                          ) -> FrontendConfig:
+    """Standard frontend configuration for a TC/budget size point.
+
+    ``pb_entries`` is the mechanism storage budget in 64-byte entries
+    whatever the mechanism — preconstruction buffers for the paper's
+    mechanism, record/request storage for the prefetcher zoo — so
+    equal-``pb_entries`` points are equal-area comparisons.
+    """
+    if mechanism == "preconstruction":
+        precon = (PreconstructionConfig(buffer_entries=pb_entries)
+                  if pb_entries else None)
+        return FrontendConfig(
+            trace_cache=TraceCacheConfig(entries=tc_entries),
+            preconstruction=precon, static_seed=static_seed)
     return FrontendConfig(trace_cache=TraceCacheConfig(entries=tc_entries),
-                          preconstruction=precon,
-                          static_seed=static_seed)
+                          preconstruction=None, static_seed=static_seed,
+                          mechanism=mechanism, mechanism_budget=pb_entries)
 
 
 def build_processor_config(tc_entries: int, pb_entries: int = 0,
@@ -120,6 +135,10 @@ class ExperimentSpec:
     kind: str = "frontend"
     instructions: Optional[int] = None
     workload_seed: Optional[int] = None
+    #: Frontend fill/prefetch mechanism (:mod:`repro.frontends`
+    #: registry name); ``pb_entries`` is its storage budget whatever
+    #: the mechanism.
+    mechanism: str = "preconstruction"
 
     def __post_init__(self) -> None:
         if self.kind not in KINDS:
@@ -133,6 +152,14 @@ class ExperimentSpec:
             raise ValueError("pb_entries must be non-negative")
         if self.preprocess and self.kind != "processor":
             raise ValueError("preprocess requires kind='processor'")
+        from repro.frontends import mechanism_names
+        if self.mechanism not in mechanism_names():
+            raise ValueError(f"unknown mechanism {self.mechanism!r}; "
+                             f"choose from {mechanism_names()}")
+        if self.mechanism != "preconstruction" \
+                and self.kind in ("dynamic", "processor"):
+            raise ValueError(f"kind={self.kind!r} supports only the "
+                             "preconstruction mechanism")
         object.__setattr__(self, "instructions",
                            resolve_instructions(self.instructions))
 
@@ -142,7 +169,8 @@ class ExperimentSpec:
     def frontend_config(self) -> FrontendConfig:
         """The :class:`FrontendConfig` this spec describes."""
         return build_frontend_config(self.tc_entries, self.pb_entries,
-                                     static_seed=self.static_seed)
+                                     static_seed=self.static_seed,
+                                     mechanism=self.mechanism)
 
     def processor_config(self) -> ProcessorConfig:
         """The :class:`ProcessorConfig` this spec describes."""
@@ -179,6 +207,8 @@ class ExperimentSpec:
         parts = [self.benchmark, f"tc={self.tc_entries}"]
         if self.pb_entries:
             parts.append(f"pb={self.pb_entries}")
+        if self.mechanism != "preconstruction":
+            parts.append(self.mechanism)
         if self.static_seed:
             parts.append("static-seed")
         if self.preprocess:

@@ -1,4 +1,11 @@
-"""Simulation drivers: configuration, statistics, frontend runner."""
+"""Simulation drivers: configuration, statistics, frontend runner.
+
+The frontend entry point is the unified :func:`run_frontend`; the
+mechanism occupying the fill/prefetch seam comes from
+:mod:`repro.frontends` (``FrontendConfig.mechanism``), and adaptive
+trace-storage partitioning is the ``partition=`` keyword.
+:func:`run_dynamic_frontend` survives as a deprecated shim.
+"""
 
 from repro.sim.config import FrontendConfig
 from repro.sim.dynamic_partition import (

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Optional
 
 from repro.branch import NextTracePredictorConfig
@@ -47,26 +47,68 @@ class FrontendConfig:
     #: :func:`repro.static.compute_static_seeds`) instead of relying
     #: solely on dynamic dispatch cues.  Ignored for the baseline.
     static_seed: bool = False
+    #: Which frontend fill/prefetch mechanism occupies the seam
+    #: (:mod:`repro.frontends` registry name).  ``"preconstruction"``
+    #: keeps the paper's mechanism, configured via ``preconstruction``;
+    #: any other name is configured via ``mechanism_budget``.
+    mechanism: str = "preconstruction"
+    #: Storage budget for a non-preconstruction mechanism, in
+    #: trace-cache-equivalent 64-byte entries (the same area currency
+    #: as ``preconstruction.buffer_entries``).  ``0`` = baseline.
+    mechanism_budget: int = 0
 
     def __post_init__(self) -> None:
         if self.fetch_width <= 0:
             raise ValueError("fetch_width must be positive")
         if self.retire_ipc <= 0:
             raise ValueError("retire_ipc must be positive")
+        if not self.mechanism:
+            raise ValueError("mechanism must be a non-empty name")
+        if self.mechanism_budget < 0:
+            raise ValueError("mechanism_budget must be non-negative")
+        if self.mechanism == "preconstruction" and self.mechanism_budget:
+            raise ValueError("preconstruction sizes its storage via "
+                             "preconstruction.buffer_entries, not "
+                             "mechanism_budget")
+        if self.mechanism != "preconstruction" \
+                and self.preconstruction is not None:
+            raise ValueError(f"mechanism {self.mechanism!r} cannot carry "
+                             "a preconstruction config")
+
+    @property
+    def mechanism_entries(self) -> int:
+        """Mechanism-side storage, in 64-byte entries (any mechanism)."""
+        if self.preconstruction is not None:
+            return self.preconstruction.buffer_entries
+        return self.mechanism_budget
+
+    def with_mechanism(self, mechanism: str) -> "FrontendConfig":
+        """This sizing point under a different mechanism.
+
+        The storage budget moves with the mechanism: preconstruction
+        carries it in ``preconstruction.buffer_entries``, every other
+        mechanism in ``mechanism_budget`` — same area either way.
+        """
+        if mechanism == self.mechanism:
+            return self
+        budget = self.mechanism_entries
+        if mechanism == "preconstruction":
+            from repro.core import PreconstructionConfig
+            precon = (PreconstructionConfig(buffer_entries=budget)
+                      if budget else None)
+            return replace(self, mechanism=mechanism, mechanism_budget=0,
+                           preconstruction=precon)
+        return replace(self, mechanism=mechanism, mechanism_budget=budget,
+                       preconstruction=None)
 
     @property
     def total_trace_storage_bytes(self) -> int:
-        """Combined trace cache + preconstruction buffer area (the
-        x-axis of the paper's Figure 5)."""
-        total = self.trace_cache.size_bytes
-        if self.preconstruction is not None:
-            from repro.trace.trace_cache import BYTES_PER_ENTRY
-            total += self.preconstruction.buffer_entries * BYTES_PER_ENTRY
-        return total
+        """Combined trace cache + mechanism storage area (the x-axis
+        of the paper's Figure 5, equal-area across mechanisms)."""
+        from repro.trace.trace_cache import BYTES_PER_ENTRY
+        return (self.trace_cache.size_bytes
+                + self.mechanism_entries * BYTES_PER_ENTRY)
 
     @property
     def total_trace_entries(self) -> int:
-        total = self.trace_cache.entries
-        if self.preconstruction is not None:
-            total += self.preconstruction.buffer_entries
-        return total
+        return self.trace_cache.entries + self.mechanism_entries

@@ -26,6 +26,7 @@ climbing controller re-evaluates the split every epoch:
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 
 from repro.core.precon_buffers import PreconstructionBuffers
@@ -76,7 +77,9 @@ class DynamicPartitionFrontend(FrontendSimulation):
     def __init__(self, image: ProgramImage, config: FrontendConfig,
                  partition: DynamicPartitionConfig | None = None) -> None:
         if config.preconstruction is None:
-            raise ValueError("dynamic partitioning needs preconstruction")
+            raise ValueError("dynamic partitioning needs the "
+                             "preconstruction mechanism with a non-zero "
+                             "buffer budget")
         self.partition = partition or DynamicPartitionConfig()
         super().__init__(image, config)
         self._pb_entries = self.partition.initial_pb_entries
@@ -152,7 +155,17 @@ def run_dynamic_frontend(image: ProgramImage, config: FrontendConfig,
                          stream: list[StreamRecord],
                          partition: DynamicPartitionConfig | None = None
                          ) -> tuple[FrontendResult, list[PartitionEvent]]:
-    """Run the adaptive-partition frontend over ``stream``."""
-    simulation = DynamicPartitionFrontend(image, config, partition)
-    result = simulation.run(stream)
-    return result, simulation.events
+    """Deprecated shim over the unified :func:`repro.sim.run_frontend`.
+
+    Call ``run_frontend(image, config, stream=stream,
+    partition=DynamicPartitionConfig(...))`` instead; the epoch
+    decisions ride on ``result.partition_events``.
+    """
+    warnings.warn(
+        "run_dynamic_frontend() is deprecated; call run_frontend(..., "
+        "partition=DynamicPartitionConfig(...)) and read "
+        "result.partition_events", DeprecationWarning, stacklevel=2)
+    from repro.sim.frontend_runner import run_frontend
+    result = run_frontend(image, config, stream=stream,
+                          partition=partition or DynamicPartitionConfig())
+    return result, result.partition_events or []

@@ -5,13 +5,19 @@ processor's frontend:
 
 1. the stream is partitioned into traces by the selection rules;
 2. for each needed trace, the next-trace predictor is consulted and the
-   trace cache + preconstruction buffers are probed;
+   trace cache is probed (plus the configured frontend mechanism's
+   side storage — preconstruction buffers, for the paper's mechanism);
 3. a present, correctly-predicted trace costs one fetch cycle and the
    backend paces consumption (``retire_ipc``), leaving the slow path
-   idle — those idle cycles fund the preconstruction engine;
+   idle — those idle cycles fund the frontend mechanism;
 4. an absent trace is fetched from the instruction cache over the slow
    path (``fetch_width`` per cycle plus miss latencies), constructed by
    the fill unit, and installed in the trace cache.
+
+The fill/prefetch mechanism occupying the seam is pluggable
+(:mod:`repro.frontends`): trace preconstruction, MANA-style
+record-replay prefetching, program-map traversal, or next-N-line —
+selected by ``FrontendConfig.mechanism``.
 
 This is the trace-driven approximation described in DESIGN.md: the
 committed path is exact; wrong-path fetch is approximated by resolution
@@ -23,16 +29,27 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Iterable, Optional
+from typing import TYPE_CHECKING, Iterable, Optional
 
 from repro.branch import BimodalPredictor, NextTracePredictor
 from repro.caches import InstructionCache
 from repro.core import PreconstructionEngine
 from repro.engine import FunctionalEngine, StreamRecord
+from repro.frontends import (
+    FrontendMechanism,
+    MechanismContext,
+    create_mechanism,
+)
 from repro.program import ProgramImage
 from repro.sim.config import FrontendConfig
 from repro.sim.stats import FrontendStats
 from repro.trace import MAX_TRACE_LENGTH, Trace, TraceCache, TraceSelector
+
+if TYPE_CHECKING:
+    from repro.sim.dynamic_partition import (
+        DynamicPartitionConfig,
+        PartitionEvent,
+    )
 
 
 def retire_pace_table(retire_ipc: float,
@@ -60,6 +77,13 @@ class FrontendResult:
     trace_cache: TraceCache
     preconstruction: Optional[PreconstructionEngine]
     icache: InstructionCache
+    #: The mechanism instance that occupied the seam (``None`` for the
+    #: bare baseline).  For ``mechanism="preconstruction"`` its engine
+    #: is also exposed via :attr:`preconstruction` (compatibility).
+    mechanism: Optional[FrontendMechanism] = None
+    #: Epoch decisions of the adaptive-partition controller; ``None``
+    #: unless the run was driven with a ``partition`` config.
+    partition_events: Optional[list["PartitionEvent"]] = None
 
 
 class FrontendSimulation:
@@ -93,21 +117,21 @@ class FrontendSimulation:
         #: and predictor training on every dynamic occurrence.  Keyed by
         #: id(); the stored trace reference pins the id.
         self._branch_memo: dict[int, tuple[Trace, tuple]] = {}
-        self.precon: Optional[PreconstructionEngine] = None
-        if config.preconstruction is not None:
-            static_seeds: tuple[int, ...] = ()
-            if config.static_seed:
-                from repro.static.seeding import compute_static_seeds
-                static_seeds = tuple(
-                    s.pc for s in compute_static_seeds(image))
-            self.precon = PreconstructionEngine(
+        self.mechanism: Optional[FrontendMechanism] = create_mechanism(
+            config.mechanism,
+            MechanismContext(
                 image=image, icache=self.icache, bimodal=self.bimodal,
-                trace_cache=self.trace_cache,
-                config=config.preconstruction,
-                selection=config.selection,
-                static_seeds=static_seeds)
-            if obs is not None:
-                self.precon.attach_obs(obs)
+                trace_cache=self.trace_cache, selection=config.selection,
+                budget_entries=config.mechanism_entries,
+                static_seed=config.static_seed,
+                preconstruction=config.preconstruction))
+        #: The preconstruction engine, when that is the configured
+        #: mechanism — kept as a direct attribute because the
+        #: dynamic-partition extension repartitions its buffers.
+        self.precon: Optional[PreconstructionEngine] = getattr(
+            self.mechanism, "engine", None)
+        if obs is not None and self.mechanism is not None:
+            self.mechanism.attach_obs(obs)
 
     # ------------------------------------------------------------------
     def run(self, stream: Iterable[StreamRecord],
@@ -136,13 +160,16 @@ class FrontendSimulation:
         return FrontendResult(config=self.config, stats=self.stats,
                               trace_cache=self.trace_cache,
                               preconstruction=self.precon,
-                              icache=self.icache)
+                              icache=self.icache,
+                              mechanism=self.mechanism,
+                              partition_events=getattr(self, "events", None))
 
     # ------------------------------------------------------------------
     def _process_trace(self, actual: Trace) -> None:
         stats = self.stats
         config = self.config
         obs = self.obs
+        mechanism = self.mechanism
         if obs:
             obs.now = stats.cycles
         stats.traces += 1
@@ -153,9 +180,8 @@ class FrontendSimulation:
 
         present = self.trace_cache.lookup(actual.trace_id) is not None
         buffer_hit = False
-        if not present and self.precon is not None:
-            buffer_hit = self.precon.probe_and_promote(
-                actual.trace_id) is not None
+        if not present and mechanism is not None:
+            buffer_hit = mechanism.probe(actual.trace_id)
             if buffer_hit:
                 present = True
                 stats.buffer_hits += 1
@@ -182,6 +208,8 @@ class FrontendSimulation:
             idle_cycles += pace
         else:
             stats.trace_misses += 1
+            if mechanism is not None:
+                mechanism.on_slow_path(actual)
             cycles += self._slow_path_fetch(actual)
 
         if obs:
@@ -194,9 +222,9 @@ class FrontendSimulation:
             obs.metrics.on_trace(obs.now, len(actual), present, buffer_hit)
 
         stats.cycles += cycles
-        if self.precon is not None:
+        if mechanism is not None:
             stats.idle_cycles += idle_cycles
-            self.precon.observe_dispatch(actual)
+            mechanism.observe_dispatch(actual)
             if idle_cycles:
                 if obs:
                     # The idle span is the tail of this trace's cycles:
@@ -206,11 +234,11 @@ class FrontendSimulation:
                     obs.emit("frontend", "idle_burst_start",
                              len=idle_cycles)
                     obs.metrics.on_idle_burst(obs.now, idle_cycles)
-                self.precon.tick(idle_cycles)
+                mechanism.tick(idle_cycles)
                 if obs:
                     obs.now = stats.cycles
                     obs.emit("frontend", "idle_burst_end", len=idle_cycles)
-            if obs:
+            if obs and self.precon is not None:
                 bucket = stats.cycles // obs.metrics.bucket_cycles
                 if bucket != self._obs_bucket:
                     self._obs_bucket = bucket
@@ -294,27 +322,54 @@ class FrontendSimulation:
             update = self.bimodal.update
             for pc, taken in self._branch_pairs(actual):
                 update(pc, taken)
-        # Keep Table 2's preconstruction traffic mirrored into stats.
-        traffic = self.icache.traffic.get("preconstruct")
+        # Keep Table 2's mechanism-side I-cache traffic mirrored into
+        # stats, whatever client name the mechanism fetches under.
+        client = (self.mechanism.icache_client
+                  if self.mechanism is not None else "preconstruct")
+        traffic = self.icache.traffic.get(client)
         if traffic is not None:
             self.stats.precon_line_accesses = traffic.lines_accessed
             self.stats.precon_line_misses = traffic.misses
 
 
 def run_frontend(image: ProgramImage, config: FrontendConfig,
-                 max_instructions: int,
+                 max_instructions: Optional[int] = None,
                  stream: Optional[list[StreamRecord]] = None,
                  traces: Optional[list[Trace]] = None,
-                 obs=None) -> FrontendResult:
-    """Convenience wrapper: execute ``image`` functionally (or reuse a
-    precomputed ``stream`` / its trace partition ``traces``) and replay
-    it through the frontend.  ``obs`` attaches an event bus
-    (:class:`repro.obs.ObsBus`) for cycle-domain tracing."""
-    if traces is not None:
-        return FrontendSimulation(image, config, obs=obs).run(
-            (), traces=traces)
-    if stream is None:
-        stream = FunctionalEngine(image).run(max_instructions)
+                 obs=None, *,
+                 mechanism: Optional[str] = None,
+                 partition: Optional["DynamicPartitionConfig"] = None
+                 ) -> FrontendResult:
+    """The one frontend entry point.
+
+    Executes ``image`` functionally (or reuses a precomputed ``stream``
+    / its trace partition ``traces``) and replays it through the
+    frontend.  ``obs`` attaches an event bus (:class:`repro.obs.ObsBus`)
+    for cycle-domain tracing.
+
+    ``mechanism`` overrides ``config.mechanism`` at the same storage
+    budget (see :meth:`FrontendConfig.with_mechanism`).  ``partition``
+    switches to the adaptive trace-storage-partition frontend (the
+    dynamic extension); its epoch decisions come back as
+    ``result.partition_events``.
+    """
+    if mechanism is not None:
+        config = config.with_mechanism(mechanism)
+    if partition is not None:
+        from repro.sim.dynamic_partition import DynamicPartitionFrontend
+        if obs is not None:
+            raise ValueError("partitioned runs do not support obs")
+        simulation: FrontendSimulation = DynamicPartitionFrontend(
+            image, config, partition)
     else:
+        simulation = FrontendSimulation(image, config, obs=obs)
+    if traces is not None:
+        return simulation.run((), traces=traces)
+    if stream is None:
+        if max_instructions is None:
+            raise ValueError("need max_instructions when no stream/traces "
+                             "are supplied")
+        stream = FunctionalEngine(image).run(max_instructions)
+    elif max_instructions is not None:
         stream = stream[:max_instructions]
-    return FrontendSimulation(image, config, obs=obs).run(stream)
+    return simulation.run(stream)

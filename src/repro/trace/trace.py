@@ -119,6 +119,27 @@ class Trace:
         """Cache-line addresses this trace's instructions occupy."""
         return {pc - (pc % line_bytes) for pc in self.pcs}
 
+    def lines(self, line_bytes: int = 64) -> tuple[int, ...]:
+        """Distinct cache-line addresses in first-touch order.
+
+        The spatial footprint the I-cache-side prefetch mechanisms
+        (:mod:`repro.frontends`) key on.  Unlike :meth:`blocks_touched`
+        the order is preserved; unlike :meth:`line_runs` revisits are
+        deduplicated.  Memoized like :meth:`line_runs`.
+        """
+        key = ("lines", line_bytes)
+        memo = self._line_runs.get(key)
+        if memo is None:
+            seen: set[int] = set()
+            out: list[int] = []
+            for line, _count in self.line_runs(line_bytes):
+                if line not in seen:
+                    seen.add(line)
+                    out.append(line)
+            memo = tuple(out)
+            self._line_runs[key] = memo
+        return memo
+
     def line_runs(self, line_bytes: int) -> tuple[tuple[int, int], ...]:
         """Consecutive same-line runs of the trace's dynamic path.
 

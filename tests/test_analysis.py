@@ -58,34 +58,18 @@ class TestSweepRunners:
         assert stats.cycles > 0
         assert stats.ipc > 0
 
-    def test_loose_kwargs_deprecated_but_equivalent(self, cache):
-        spec = ExperimentSpec(benchmark="compress", tc_entries=64,
-                              pb_entries=32, instructions=8_000)
-        fresh = run_frontend_point(cache, spec)
-        with pytest.warns(DeprecationWarning, match="ExperimentSpec"):
-            legacy = run_frontend_point(cache, "compress", 64, 32)
-        assert legacy.summary() == fresh.summary()
+    def test_loose_kwargs_are_gone(self, cache):
+        # Removed after their DeprecationWarning cycle (runner redesign).
+        with pytest.raises(TypeError, match="ExperimentSpec"):
+            run_frontend_point(cache, "compress", 64, 32)
+        with pytest.raises(TypeError, match="ExperimentSpec"):
+            run_processor_point(cache, "compress", 64)
 
-    def test_frontend_config_deprecated_but_equivalent(self):
-        from repro.analysis import frontend_config
+    def test_loose_config_helpers_are_gone(self):
+        import repro.analysis
 
-        spec = ExperimentSpec(benchmark="compress", tc_entries=128,
-                              pb_entries=64, instructions=1)
-        assert frontend_config(spec) == spec.frontend_config()
-        with pytest.warns(DeprecationWarning, match="ExperimentSpec"):
-            legacy = frontend_config(128, 64)
-        assert legacy == spec.frontend_config()
-
-    def test_processor_config_deprecated_but_equivalent(self):
-        from repro.analysis import processor_config
-
-        spec = ExperimentSpec(benchmark="compress", tc_entries=128,
-                              preprocess=True, kind="processor",
-                              instructions=1)
-        assert processor_config(spec) == spec.processor_config()
-        with pytest.warns(DeprecationWarning, match="ExperimentSpec"):
-            legacy = processor_config(128, 0, preprocess=True)
-        assert legacy == spec.processor_config()
+        assert not hasattr(repro.analysis, "frontend_config")
+        assert not hasattr(repro.analysis, "processor_config")
 
     def test_figure5_sweep_grid(self, cache):
         points = figure5_sweep(cache, "compress", tc_sizes=(64, 128),

@@ -53,6 +53,27 @@ class TestFuzzCaseSpec:
                  for seed in range(30)}
         assert len(sizes) > 1
 
+    def test_seeds_draw_every_mechanism(self):
+        from repro.frontends import mechanism_names
+
+        drawn = {fuzz_case_spec(seed).mechanism for seed in range(30)}
+        assert drawn == set(mechanism_names())
+
+
+class TestMechanismZooUnderOracles:
+    """Every registered mechanism must satisfy the cross-model
+    invariants — the zoo inherits the validation methodology."""
+
+    @pytest.mark.parametrize("mechanism", ["mana", "nextline", "pmap",
+                                           "preconstruction"])
+    def test_mechanism_passes_core_oracles(self, mechanism):
+        report = check_profile(
+            fuzz_profile(3), BUDGET, tc_entries=64, pb_entries=64,
+            mechanism=mechanism,
+            oracles=["determinism", "conservation", "coverage"])
+        assert report.ok, [str(v) for v in report.violations]
+        assert report.mechanism == mechanism
+
 
 class TestRunFuzz:
     def test_clean_sweep_reports_ok(self):

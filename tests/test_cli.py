@@ -352,3 +352,46 @@ class TestFuzzCommand:
 
         with pytest.raises(SystemExit):
             main(["fuzz", "--oracle", "nope"])
+
+
+class TestCompareCLI:
+    def test_compare_table(self, capsys):
+        assert main(["--instructions", "4000", "--no-cache", "compare",
+                     "--benchmarks", "compress", "--pb", "64"]) == 0
+        out = capsys.readouterr().out
+        assert "compress (tc=256, 4000 instructions)" in out
+        for name in ("baseline", "mana", "nextline", "pmap",
+                     "preconstruction"):
+            assert name in out
+        assert "vs-base" in out
+
+    def test_compare_json_covers_requested_mechanisms(self, capsys):
+        import json
+
+        assert main(["--instructions", "4000", "--no-cache", "compare",
+                     "--benchmarks", "compress",
+                     "--mechanisms", "preconstruction,nextline",
+                     "--pb", "64", "--json"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert {row["mechanism"] for row in rows} \
+            == {"baseline", "preconstruction", "nextline"}
+
+    def test_compare_unknown_mechanism_errors_cleanly(self, capsys):
+        assert main(["--instructions", "4000", "--no-cache", "compare",
+                     "--benchmarks", "compress",
+                     "--mechanisms", "markov"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown mechanism" in err
+
+
+class TestBenchCheckCLI:
+    def test_missing_reference_names_the_file(self, capsys, tmp_path,
+                                              monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_INSTRUCTIONS", "2000")
+        missing = tmp_path / "nope" / "ref.json"
+        out_path = tmp_path / "bench.json"
+        assert main(["bench", "--quick", "--output", str(out_path),
+                     "--check", str(missing)]) == 1
+        err = capsys.readouterr().err
+        assert "reference report not found" in err
+        assert str(missing) in err

@@ -8,6 +8,7 @@ from repro.sim import (
     DynamicPartitionConfig,
     DynamicPartitionFrontend,
     run_dynamic_frontend,
+    run_frontend,
 )
 from repro.workloads import build_workload
 
@@ -71,17 +72,31 @@ class TestDynamicPartition:
 
     def test_events_recorded(self, gcc):
         image, stream = gcc
-        _, events = run_dynamic_frontend(
-            image, build_frontend_config(384, 128), stream,
-            DynamicPartitionConfig(epoch_traces=300))
+        result = run_frontend(
+            image, build_frontend_config(384, 128), stream=stream,
+            partition=DynamicPartitionConfig(epoch_traces=300))
+        events = result.partition_events
         assert events
         assert all(event.epoch_miss_rate >= 0 for event in events)
         assert events[0].at_traces >= 300
 
     def test_runs_match_normal_accounting(self, gcc):
         image, stream = gcc
-        result, _ = run_dynamic_frontend(image, build_frontend_config(384, 128),
-                                         stream)
+        result = run_frontend(image, build_frontend_config(384, 128),
+                              stream=stream,
+                              partition=DynamicPartitionConfig())
         stats = result.stats
         assert stats.instructions == len(stream)
         assert stats.trace_hits + stats.trace_misses == stats.traces
+
+    def test_run_dynamic_frontend_shim(self, gcc):
+        """The old entry point still works but warns."""
+        image, stream = gcc
+        partition = DynamicPartitionConfig(epoch_traces=300)
+        with pytest.warns(DeprecationWarning, match="run_frontend"):
+            result, events = run_dynamic_frontend(
+                image, build_frontend_config(384, 128), stream, partition)
+        fresh = run_frontend(image, build_frontend_config(384, 128),
+                             stream=stream, partition=partition)
+        assert events == fresh.partition_events
+        assert result.stats.summary() == fresh.stats.summary()
