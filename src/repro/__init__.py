@@ -50,7 +50,7 @@ from repro.static import (
     verify_image,
 )
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "__version__",

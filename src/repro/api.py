@@ -136,6 +136,18 @@ from repro.static import (
     predict_coverage,
 )
 from repro.trace import TraceCache, traces_of_stream
+from repro.triage import (
+    DiffResult,
+    Hypothesis,
+    RunCapture,
+    capture_spec,
+    diff_runs,
+    diff_specs,
+    load_capture,
+    rank_hypotheses,
+    render_report,
+    write_report,
+)
 from repro.workloads import (
     SPEC95_NAMES,
     WorkloadProfile,
@@ -183,6 +195,7 @@ __all__ = [
     "CompareRow",
     "CoveragePrediction",
     "DEFAULT_INSTRUCTIONS",
+    "DiffResult",
     "DynamicPartitionConfig",
     "ExperimentRunner",
     "ExperimentSpec",
@@ -190,6 +203,7 @@ __all__ = [
     "FrontendMechanism",
     "FunctionalEngine",
     "FuzzReport",
+    "Hypothesis",
     "InstructionCache",
     "IntervalMetrics",
     "JsonlSink",
@@ -204,6 +218,7 @@ __all__ = [
     "ProgramImage",
     "ResultCache",
     "RingBufferSink",
+    "RunCapture",
     "RunResult",
     "SPEC95_NAMES",
     "StaticAnalysisReport",
@@ -220,6 +235,7 @@ __all__ = [
     "build_manifest",
     "build_processor_config",
     "build_workload",
+    "capture_spec",
     "check_profile",
     "compare_from_results",
     "compare_specs",
@@ -227,6 +243,8 @@ __all__ = [
     "compute_tables",
     "configure_logging",
     "create_mechanism",
+    "diff_runs",
+    "diff_specs",
     "figure5_sweep",
     "figure6",
     "figure8",
@@ -238,13 +256,16 @@ __all__ = [
     "fuzz_profile",
     "generate",
     "get_logger",
+    "load_capture",
     "mechanism_names",
     "minimize_case",
     "oracle_names",
     "predict",
     "predict_coverage",
     "profile_for",
+    "rank_hypotheses",
     "register_mechanism",
+    "render_report",
     "resolve_instructions",
     "rows_to_dicts",
     "run_dynamic_frontend",
@@ -258,4 +279,5 @@ __all__ = [
     "traces_of_stream",
     "validate_chrome_trace",
     "write_perfetto",
+    "write_report",
 ]

@@ -26,6 +26,7 @@ pinning the seed and only the knobs that matter.
 from __future__ import annotations
 
 from dataclasses import dataclass, fields, replace
+from pathlib import Path
 from typing import Any, Optional, Sequence
 
 from repro.check.harness import CheckReport, check_profile
@@ -124,10 +125,10 @@ class MinimizedCase:
             'print("reproduced:", len(report.violations), "violation(s)")\n'
         )
 
-    def write_script(self, path) -> None:
-        from pathlib import Path
-
-        Path(path).write_text(self.script())
+    def write_script(self, path: str | Path) -> Path:
+        target = Path(path)
+        target.write_text(self.script())
+        return target
 
 
 def _failing(report: CheckReport) -> tuple[str, ...]:

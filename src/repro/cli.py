@@ -17,6 +17,8 @@ Usage::
     python -m repro all --jobs 4 [--timing-report timing.json]
     python -m repro bench [--quick] [--check BENCH_hotpath.json]
     python -m repro fuzz --seeds 100 [--budget 8000] [--oracle NAME ...]
+    python -m repro diff run_a.json run_b.json [--json]
+    python -m repro report --metrics m.jsonl --bench BENCH_quick.json -o out.html
     python -m repro cache [--clear]
 
 Observability: ``repro stats`` and ``repro trace`` run one frontend
@@ -232,6 +234,11 @@ def _parser() -> argparse.ArgumentParser:
     bench.add_argument("--tolerance", type=float, default=0.5,
                        help="allowed fractional slowdown vs the --check "
                             "reference (default: 0.5 = +50%%)")
+    bench.add_argument("--repro-script", default="bench_regression_repro.py",
+                       metavar="PATH",
+                       help="where a failing --check writes its minimized "
+                            "standalone repro script "
+                            "(default: bench_regression_repro.py)")
 
     from repro.check.oracles import oracle_names
 
@@ -254,11 +261,46 @@ def _parser() -> argparse.ArgumentParser:
                       help="worker processes (grouped per case)")
     fuzz.add_argument("--no-minimize", action="store_true",
                       help="report failures without shrinking them")
-    fuzz.add_argument("--failures-dir", default=None, metavar="DIR",
+    fuzz.add_argument("--failures-dir", default="fuzz-failures",
+                      metavar="DIR",
                       help="write a self-contained repro script per "
-                           "minimized failure")
+                           "minimized failure (default: fuzz-failures; "
+                           "the directory is only created on failure)")
     fuzz.add_argument("--json", action="store_true",
                       help="emit the fuzz report as JSON")
+
+    diff = sub.add_parser(
+        "diff", help="localize the first divergence between two runs "
+                     "(captures, run manifests, or spec JSON)")
+    diff.add_argument("run_a", metavar="MANIFEST_A",
+                      help="first run: a triage capture, a RunResult/"
+                           "cache-entry JSON, or a bare spec JSON")
+    diff.add_argument("run_b", metavar="MANIFEST_B",
+                      help="second run, same accepted shapes")
+    diff.add_argument("--bucket-cycles", type=int, default=1024,
+                      help="interval bucket width for re-executed runs "
+                           "(pre-built captures keep their own)")
+    diff.add_argument("--json", action="store_true",
+                      help="emit the diff result as JSON")
+
+    reportcmd = sub.add_parser(
+        "report", help="self-contained static HTML dashboard for a "
+                       "run set")
+    reportcmd.add_argument("--metrics", action="append", default=[],
+                           metavar="PATH",
+                           help="metrics.jsonl file (repeatable)")
+    reportcmd.add_argument("--bench", action="append", default=[],
+                           metavar="PATH",
+                           help="BENCH_*.json report (repeatable)")
+    reportcmd.add_argument("--perfetto", action="append", default=[],
+                           metavar="PATH",
+                           help="Perfetto trace.json to deep-link "
+                                "(repeatable)")
+    reportcmd.add_argument("--title", default=None,
+                           help="dashboard title")
+    reportcmd.add_argument("-o", "--output", default="report.html",
+                           metavar="PATH",
+                           help="output HTML file (default: report.html)")
 
     cachecmd = sub.add_parser("cache", help="inspect the result cache")
     cachecmd.add_argument("--clear", action="store_true",
@@ -513,12 +555,16 @@ def main(argv: Sequence[str] | None = None) -> int:
             print(f"removed {cache.clear()} cached results from "
                   f"{cache.root}")
             return 0
-        entries = cache.entries()
-        total = sum(path.stat().st_size for path in entries)
+        rows = cache.entry_info()
+        total = sum(row["size_bytes"] for row in rows)
         print(f"cache root: {cache.root}")
-        print(f"entries:    {len(entries)}")
+        print(f"entries:    {len(rows)}")
         print(f"bytes:      {total}")
-        for row in cache.entry_info():
+        stale = cache.stale_temps()
+        if stale:
+            print(f"stale temp files: {len(stale)} "
+                  f"(stranded by killed runs; reclaim with --clear)")
+        for row in rows:
             if "error" in row:
                 detail = row["error"]
             else:
@@ -542,7 +588,9 @@ def main(argv: Sequence[str] | None = None) -> int:
         from repro.runner import (
             check_bench,
             format_bench,
+            regressed_sections,
             run_bench,
+            write_bench_repro,
             write_bench_report,
         )
 
@@ -563,6 +611,12 @@ def main(argv: Sequence[str] | None = None) -> int:
             if problems:
                 for problem in problems:
                     print(f"bench regression: {problem}", file=sys.stderr)
+                if regressed_sections(payload, reference, args.tolerance):
+                    script = write_bench_repro(payload, reference,
+                                               args.tolerance,
+                                               args.repro_script)
+                    print(f"bench regression repro script: {script}",
+                          file=sys.stderr)
                 return 1
             print(f"bench check vs {args.check}: "
                   f"within +{args.tolerance:.0%}", file=sys.stderr)
@@ -586,6 +640,35 @@ def main(argv: Sequence[str] | None = None) -> int:
         else:
             print(fuzz_report.format())
         return 0 if fuzz_report.ok else 1
+
+    if args.command == "diff":
+        from repro.triage import diff_paths
+
+        cache = None if args.no_cache else ResultCache(args.cache_dir)
+        try:
+            diff = diff_paths(args.run_a, args.run_b, cache=cache,
+                              bucket_cycles=args.bucket_cycles)
+        except (OSError, ValueError) as error:
+            print(f"diff: {error}", file=sys.stderr)
+            return 2
+        if args.json:
+            print(json.dumps(diff.to_dict(), indent=2, sort_keys=True))
+        else:
+            print(diff.format())
+        return 0 if diff.identical else 1
+
+    if args.command == "report":
+        from repro.triage import write_report
+
+        try:
+            path = write_report(args.output, metrics=args.metrics,
+                                bench=args.bench, traces=args.perfetto,
+                                title=args.title)
+        except (OSError, ValueError) as error:
+            print(f"report: {error}", file=sys.stderr)
+            return 2
+        print(f"wrote {path} ({path.stat().st_size} bytes)")
+        return 0
 
     instructions = resolve_instructions(args.instructions)
     if args.command == "compare":

@@ -306,6 +306,8 @@ class PreconstructionEngine:
                 break
         stats.decode_steps += decode_steps
         stats.port_cycles_used += port_used
+        if self.obs and port_used:
+            self.obs.metrics.on_port_cycles(self.obs.now, port_used)
         debt = -port_budget if port_budget < 0 else 0
         stats.port_overdraft_carried += max(0, debt - self._port_debt)
         self._port_debt = debt

@@ -75,9 +75,13 @@ class Histogram:
         }
 
 
-#: Per-bucket counter names, in serialisation order.
+#: Per-bucket counter names, in serialisation order.  ``port_cycles``
+#: is the shared I-cache port's busy time funded by each bucket's idle
+#: bursts — the counter the PR-3 overdraft bug skewed, now first-class
+#: so ``repro diff`` can localize port-accounting regressions.
 BUCKET_COUNTERS = ("traces", "instructions", "trace_hits", "trace_misses",
-                   "buffer_hits", "idle_cycles", "traces_constructed")
+                   "buffer_hits", "idle_cycles", "traces_constructed",
+                   "port_cycles")
 
 
 class IntervalMetrics:
@@ -126,6 +130,10 @@ class IntervalMetrics:
     def on_trace_constructed(self, cycle: int, latency: int) -> None:
         self._bucket(cycle)["traces_constructed"] += 1
         self.construction_latency.add(latency)
+
+    def on_port_cycles(self, cycle: int, cycles: int) -> None:
+        """I-cache port busy cycles the burst at ``cycle`` consumed."""
+        self._bucket(cycle)["port_cycles"] += cycles
 
     def on_buffer_occupancy(self, occupancy: int) -> None:
         self.buffer_occupancy.add(occupancy)

@@ -14,10 +14,13 @@
 """
 
 from repro.runner.bench import (
+    bench_repro_script,
     bench_sections,
     check_bench,
     format_bench,
+    regressed_sections,
     run_bench,
+    write_bench_repro,
     write_bench_report,
 )
 from repro.runner.cache import (
@@ -47,7 +50,8 @@ from repro.runner.spec import (
 )
 
 __all__ = [
-    "bench_sections", "check_bench", "format_bench", "run_bench",
+    "bench_repro_script", "bench_sections", "check_bench", "format_bench",
+    "regressed_sections", "run_bench", "write_bench_repro",
     "write_bench_report",
     "CACHE_DIR_ENV", "LAST_RUN_FILE", "ResultCache", "default_cache_dir",
     "ExperimentRunner", "StreamCache", "TimingReport", "execute_spec",

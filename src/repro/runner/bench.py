@@ -136,9 +136,15 @@ def check_bench(payload: dict[str, Any], reference: dict[str, Any],
         problems.append(f"mode mismatch: ran {payload.get('mode')!r}, "
                         f"reference is {reference.get('mode')!r}")
         return problems
+    # A hand-edited or truncated report may lack "sections" entirely;
+    # that is a reportable problem, not a KeyError.
+    sections = payload.get("sections")
+    if not isinstance(sections, dict):
+        problems.append("payload has no 'sections' mapping")
+        return problems
     ref_sections = reference.get("sections", {})
     for name, ref in ref_sections.items():
-        section = payload["sections"].get(name)
+        section = sections.get(name)
         if section is None:
             problems.append(f"section {name!r} missing from this run")
             continue
@@ -148,10 +154,104 @@ def check_bench(payload: dict[str, Any], reference: dict[str, Any],
                 f"{name}: {section['current_seconds']:.2f}s exceeds "
                 f"{ref['current_seconds']:.2f}s "
                 f"+{tolerance:.0%} ({limit:.2f}s)")
-    for name in payload.get("sections", {}):
+    for name in sections:
         if name not in ref_sections:
             problems.append(f"section {name!r} has no reference baseline")
     return problems
+
+
+def regressed_sections(payload: dict[str, Any], reference: dict[str, Any],
+                       tolerance: float = 0.5) -> dict[str, float]:
+    """Sections whose wall time exceeds the reference limit.
+
+    The minimizable subset of :func:`check_bench`'s findings: mode and
+    section-presence mismatches cannot be reproduced by re-timing, so
+    only genuine slowdowns come back — ``{section: limit_seconds}``.
+    """
+    regressed: dict[str, float] = {}
+    sections = payload.get("sections")
+    if payload.get("mode") != reference.get("mode") \
+            or not isinstance(sections, dict):
+        return regressed
+    for name, ref in reference.get("sections", {}).items():
+        section = sections.get(name)
+        if section is None:
+            continue
+        limit = ref["current_seconds"] * (1.0 + tolerance)
+        if section["current_seconds"] > limit:
+            regressed[name] = round(limit, 2)
+    return regressed
+
+
+def bench_repro_script(payload: dict[str, Any], reference: dict[str, Any],
+                       tolerance: float = 0.5) -> str:
+    """A self-contained repro script for a failed ``bench --check``.
+
+    The regression-triage counterpart of the fuzz minimizer's repro
+    scripts: instead of re-running the whole bench matrix, the script
+    re-times *only the regressed sections* (the minimized failing
+    subset) against the reference limits embedded at generation time,
+    and exits non-zero while any section still exceeds its limit.
+    """
+    regressed = regressed_sections(payload, reference, tolerance)
+    if not regressed:
+        raise ValueError("no regressed sections to reproduce")
+    mode = payload.get("mode", "quick")
+    limits = "".join(
+        f"    {name!r}: {limit},\n" for name, limit in sorted(regressed.items()))
+    observed = "".join(
+        f"#   {name}: {payload['sections'][name]['current_seconds']:.2f}s "
+        f"(limit {limit:.2f}s)\n"
+        for name, limit in sorted(regressed.items()))
+    return (
+        "#!/usr/bin/env python\n"
+        '"""Minimized repro for a `repro bench --check` regression.\n'
+        "\n"
+        "Run with the repository on PYTHONPATH:\n"
+        "    PYTHONPATH=src python bench_regression_repro.py\n"
+        '"""\n'
+        "# Regressed sections at generation time:\n"
+        f"{observed}"
+        "import time\n"
+        "\n"
+        "from repro.runner.bench import bench_sections\n"
+        "from repro.runner.pool import ExperimentRunner\n"
+        "\n"
+        f"MODE = {mode!r}\n"
+        "LIMIT_SECONDS = {\n"
+        f"{limits}"
+        "}\n"
+        "\n"
+        "failed = False\n"
+        "for name, specs in bench_sections(quick=MODE == 'quick'):\n"
+        "    if name not in LIMIT_SECONDS:\n"
+        "        continue\n"
+        "    runner = ExperimentRunner(jobs=1, cache=None)\n"
+        "    started = time.perf_counter()\n"
+        "    runner.run(specs)\n"
+        "    elapsed = time.perf_counter() - started\n"
+        "    limit = LIMIT_SECONDS[name]\n"
+        "    verdict = 'REGRESSED' if elapsed > limit else 'ok'\n"
+        "    print(f'{name}: {elapsed:.2f}s (limit {limit:.2f}s) {verdict}')\n"
+        "    failed = failed or elapsed > limit\n"
+        "raise SystemExit(1 if failed else 0)\n"
+    )
+
+
+def write_bench_repro(payload: dict[str, Any], reference: dict[str, Any],
+                      tolerance: float = 0.5,
+                      path: str | Path = "bench_regression_repro.py"
+                      ) -> Path:
+    """Write :func:`bench_repro_script`'s output; returns the path."""
+    target = Path(path)
+    target.write_text(bench_repro_script(payload, reference, tolerance))
+    return target
+
+
+def _format_speedup(speedup: Optional[float]) -> str:
+    """``1.87x`` — or ``n/a`` for a section too fast to time (a
+    near-zero elapsed leaves ``speedup`` as ``None``)."""
+    return f"{speedup:.2f}x" if speedup is not None else "n/a"
 
 
 def format_bench(payload: dict[str, Any]) -> str:
@@ -163,10 +263,10 @@ def format_bench(payload: dict[str, Any]) -> str:
             f"  {name:8s} {section['specs']:4d} specs: "
             f"{section['current_seconds']:8.2f}s "
             f"(baseline {section['baseline_seconds']:.2f}s, "
-            f"{section['speedup']:.2f}x)")
+            f"{_format_speedup(section['speedup'])})")
     total = payload["total"]
     lines.append(f"  {'total':8s} {'':4s}       "
                  f"{total['current_seconds']:8.2f}s "
                  f"(baseline {total['baseline_seconds']:.2f}s, "
-                 f"{total['speedup']:.2f}x)")
+                 f"{_format_speedup(total['speedup'])})")
     return "\n".join(lines)

@@ -79,7 +79,8 @@ class ResultCache:
         additionally reported through the ``repro.runner.cache``
         logger, since the silent-recovery path hides real damage.
         """
-        path = self.path_for(spec)
+        digest = spec.digest(self.schema_version)
+        path = self.root / f"v{self.schema_version}" / f"{digest}.json"
         try:
             text = path.read_text()
         except FileNotFoundError:
@@ -94,7 +95,7 @@ class ResultCache:
             payload = json.loads(text)
             if payload.get("schema") != self.schema_version:
                 raise ValueError("schema mismatch")
-            if payload.get("digest") != spec.digest(self.schema_version):
+            if payload.get("digest") != digest:
                 raise ValueError("digest mismatch")
             result = RunResult.from_dict(payload, cached=True)
             if result.spec != spec:
@@ -132,6 +133,21 @@ class ResultCache:
             return []
         return sorted(self.root.glob("v*/*.json.corrupt"))
 
+    def stale_temps(self) -> list[Path]:
+        """Atomic-write temp files stranded by killed runs.
+
+        :meth:`put` and :meth:`record_last_run` write through
+        ``<name>.tmp.<pid>`` files before the atomic rename; a process
+        killed between the write and the rename leaves the temp behind
+        forever (it is keyed by a dead pid, so no later run reclaims
+        it).  These are invisible to :meth:`entries` — ``repro cache``
+        reports them and :meth:`clear` sweeps them.
+        """
+        if not self.root.is_dir():
+            return []
+        return sorted(list(self.root.glob("v*/*.tmp.*"))
+                      + list(self.root.glob("*.tmp.*")))
+
     def put(self, spec: ExperimentSpec, result: RunResult) -> Path:
         """Atomically store ``result`` under ``spec``'s digest."""
         path = self.path_for(spec)
@@ -166,9 +182,13 @@ class ResultCache:
             row: dict[str, Any] = {
                 "digest": path.stem,
                 "schema": path.parent.name,
-                "size_bytes": path.stat().st_size,
+                "size_bytes": 0,
             }
             try:
+                # stat() races against concurrent deletion like every
+                # other access; a vanished entry is an error row, not an
+                # uncaught OSError.
+                row["size_bytes"] = path.stat().st_size
                 payload = json.loads(path.read_text())
                 result = RunResult.from_dict(payload, cached=True)
             except (OSError, ValueError, KeyError, TypeError) as error:
@@ -213,10 +233,10 @@ class ResultCache:
             return None
 
     def clear(self) -> int:
-        """Delete every stored entry (quarantined ones included);
-        returns the number removed."""
+        """Delete every stored entry (quarantined entries and stranded
+        atomic-write temps included); returns the number removed."""
         removed = 0
-        for path in self.entries() + self.quarantined():
+        for path in self.entries() + self.quarantined() + self.stale_temps():
             try:
                 path.unlink()
                 removed += 1

@@ -1,0 +1,52 @@
+"""Regression triage: run diffing, divergence localization, reporting.
+
+When two runs of the same experiment disagree — across commits, hosts,
+or configuration tweaks — the aggregates say *that* they differ; this
+package says *where first and why*:
+
+* :mod:`repro.triage.differ` — ``repro diff``'s engine: materialize
+  two runs as :class:`RunCapture`\\ s (from capture files, run
+  manifests, or bare specs, executing through the result cache only
+  when needed), localize the first divergent interval bucket by binary
+  search over the monotone bucket-prefix-equality predicate, then
+  drill into the two event streams inside that cycle window for the
+  first differing record;
+* :mod:`repro.triage.hypotheses` — turn the divergent bucket's counter
+  skews into a ranked :class:`Hypothesis` list, each naming the
+  counter, cycle window, emitting source, and any pc/trace identity
+  the evidence event carried;
+* :mod:`repro.triage.report` — ``repro report``: one self-contained
+  static HTML dashboard (inline SVG, no external assets) over a run
+  set's ``metrics.jsonl`` histograms, bench trajectories, and Perfetto
+  trace links.
+"""
+
+from repro.triage.differ import (
+    TRIAGE_SCHEMA,
+    DiffResult,
+    RunCapture,
+    capture_spec,
+    diff_paths,
+    diff_runs,
+    diff_specs,
+    first_divergent_bucket,
+    load_capture,
+)
+from repro.triage.hypotheses import Hypothesis, rank_hypotheses
+from repro.triage.report import render_report, write_report
+
+__all__ = [
+    "TRIAGE_SCHEMA",
+    "DiffResult",
+    "Hypothesis",
+    "RunCapture",
+    "capture_spec",
+    "diff_paths",
+    "diff_runs",
+    "diff_specs",
+    "first_divergent_bucket",
+    "load_capture",
+    "rank_hypotheses",
+    "render_report",
+    "write_report",
+]

@@ -1,0 +1,167 @@
+"""Hypothesis ranking: from a divergent bucket to a suspect list.
+
+Once the differ has localized the first divergent interval bucket,
+the remaining question is *which counter moved first and what touched
+it*.  This module turns the divergent bucket pair into a ranked list
+of :class:`Hypothesis` records: one per differing counter, ordered by
+relative skew (a counter that doubled outranks one that drifted 2%),
+each naming the cycle window, the emitting source, and — when the
+event drill found one — the first differing event record plus any
+``pc`` / ``trace`` identity it carried.
+
+The counter → event-source mapping below is the causal wiring of the
+instrumentation sites: every :data:`~repro.obs.metrics.BUCKET_COUNTERS`
+name is fed from exactly one source's events, so a skewed counter
+points straight at the component whose event stream to drill.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Optional, Sequence
+
+from repro.obs.metrics import BUCKET_COUNTERS
+
+#: Which event source feeds each interval counter, and which of its
+#: events are the evidence to drill for.  Mirrors the instrumentation
+#: sites (``IntervalMetrics.on_*`` callers), not a heuristic.
+COUNTER_EVIDENCE: dict[str, tuple[str, tuple[str, ...]]] = {
+    "traces": ("frontend", ("trace_hit", "trace_miss")),
+    "instructions": ("frontend", ("trace_hit", "trace_miss")),
+    "trace_hits": ("frontend", ("trace_hit",)),
+    "trace_misses": ("frontend", ("trace_miss",)),
+    "buffer_hits": ("buffers", ("probe", "take")),
+    "idle_cycles": ("frontend", ("idle_burst_start", "idle_burst_end")),
+    "traces_constructed": ("engine", ("trace_constructed",)),
+    # port_cycles is the engine's I-cache port accounting (the PR-3
+    # overdraft family): region lifecycle events bracket every burst
+    # that burned port bandwidth.
+    "port_cycles": ("engine", ("region_assign", "region_complete",
+                               "trace_constructed")),
+}
+
+
+@dataclass(frozen=True)
+class Hypothesis:
+    """One suspect counter for a localized divergence."""
+
+    counter: str
+    value_a: int
+    value_b: int
+    #: ``[start_cycle, end_cycle)`` of the divergent bucket.
+    window: tuple[int, int]
+    #: Event source that feeds this counter (``COUNTER_EVIDENCE``).
+    source: str
+    #: First event record differing between the two runs among this
+    #: counter's evidence events inside the window (side B's record,
+    #: or side A's when B ran out first).  ``None`` if the evidence
+    #: streams are identical (the skew came from record *fields*, not
+    #: presence — e.g. differing ``occupancy`` payloads).
+    event: Optional[dict[str, Any]] = None
+    #: Identity pulled off the evidence event, when it carried one.
+    pc: Optional[int] = None
+    trace: Optional[Any] = None
+    rank: int = field(default=0, compare=False)
+
+    @property
+    def delta(self) -> int:
+        return self.value_b - self.value_a
+
+    @property
+    def relative(self) -> float:
+        """Skew magnitude normalized by the larger side (0..1+)."""
+        scale = max(abs(self.value_a), abs(self.value_b), 1)
+        return abs(self.delta) / scale
+
+    def describe(self) -> str:
+        start, end = self.window
+        line = (f"{self.counter}: {self.value_a} -> {self.value_b} "
+                f"({self.delta:+d}, {self.relative:.0%} skew) "
+                f"in cycles [{start}, {end}) via {self.source}")
+        if self.event is not None:
+            line += (f"; first differing {self.source} event: "
+                     f"{self.event.get('event')} "
+                     f"@cycle {self.event.get('cycle')}")
+        if self.pc is not None:
+            line += f" pc={self.pc:#x}"
+        if self.trace is not None:
+            line += f" trace={self.trace}"
+        return line
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "counter": self.counter,
+            "value_a": self.value_a,
+            "value_b": self.value_b,
+            "delta": self.delta,
+            "relative": round(self.relative, 4),
+            "window": list(self.window),
+            "source": self.source,
+            "event": self.event,
+            "pc": self.pc,
+            "trace": self.trace,
+            "rank": self.rank,
+        }
+
+
+def _first_evidence(counter: str,
+                    events_a: Sequence[Mapping[str, Any]],
+                    events_b: Sequence[Mapping[str, Any]],
+                    ) -> Optional[dict[str, Any]]:
+    """First record differing between the runs' evidence streams.
+
+    Both streams are filtered down to the counter's source/event names
+    (window filtering already happened upstream) and compared
+    positionally, ignoring the global ``seq`` stamp — an earlier
+    unrelated divergence renumbers everything after it, and the drill
+    must not blame this counter for that.
+    """
+    source, names = COUNTER_EVIDENCE[counter]
+
+    def select(events: Sequence[Mapping[str, Any]]) -> list[dict[str, Any]]:
+        return [dict(record) for record in events
+                if record.get("source") == source
+                and record.get("event") in names]
+
+    picked_a, picked_b = select(events_a), select(events_b)
+    for rec_a, rec_b in zip(picked_a, picked_b):
+        key_a = {k: v for k, v in rec_a.items() if k != "seq"}
+        key_b = {k: v for k, v in rec_b.items() if k != "seq"}
+        if key_a != key_b:
+            return rec_b
+    if len(picked_a) != len(picked_b):
+        longer = picked_b if len(picked_b) > len(picked_a) else picked_a
+        return longer[min(len(picked_a), len(picked_b))]
+    return None
+
+
+def rank_hypotheses(bucket_a: Mapping[str, int],
+                    bucket_b: Mapping[str, int],
+                    window: tuple[int, int],
+                    events_a: Sequence[Mapping[str, Any]] = (),
+                    events_b: Sequence[Mapping[str, Any]] = (),
+                    ) -> list[Hypothesis]:
+    """Ranked suspects for one divergent bucket pair.
+
+    ``bucket_a`` / ``bucket_b`` are the bucket's counter mappings from
+    the two runs; ``events_a`` / ``events_b`` are the runs' event
+    records already restricted to ``window``.  Counters equal on both
+    sides produce no hypothesis.  Ranking: relative skew descending,
+    then absolute delta, then counter name (deterministic ties).
+    """
+    suspects: list[Hypothesis] = []
+    for counter in BUCKET_COUNTERS:
+        value_a = int(bucket_a.get(counter, 0))
+        value_b = int(bucket_b.get(counter, 0))
+        if value_a == value_b:
+            continue
+        evidence = _first_evidence(counter, events_a, events_b)
+        suspects.append(Hypothesis(
+            counter=counter, value_a=value_a, value_b=value_b,
+            window=window, source=COUNTER_EVIDENCE[counter][0],
+            event=evidence,
+            pc=evidence.get("pc") if evidence else None,
+            trace=evidence.get("trace") if evidence else None))
+    suspects.sort(key=lambda h: (-h.relative, -abs(h.delta), h.counter))
+    return [Hypothesis(**{**vars(suspect), "rank": position + 1})
+            for position, suspect in enumerate(suspects)]

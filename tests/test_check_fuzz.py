@@ -181,3 +181,22 @@ class TestGoldenCorpus:
                                pb_entries=case["pb_entries"],
                                static_seed=case["static_seed"])
         assert report.ok, [str(v) for v in report.violations]
+
+
+class TestFuzzCLIAutoMinimize:
+    def test_failure_emits_repro_script_in_default_dir(
+            self, broken_slow_path, tmp_path, monkeypatch, capsys):
+        from repro.cli import main
+
+        # No --failures-dir: scripts land in ./fuzz-failures relative
+        # to the working directory, and the report names each one.
+        monkeypatch.chdir(tmp_path)
+        assert main(["--no-cache", "fuzz", "--seeds", "1",
+                     "--budget", "3000"]) == 1
+        out = capsys.readouterr().out
+        assert "repro script:" in out
+        scripts = list((tmp_path / "fuzz-failures").glob("repro_fuzz_*.py"))
+        assert scripts
+        for script in scripts:
+            assert str(script) in out or script.name in out
+            compile(script.read_text(), str(script), "exec")

@@ -395,3 +395,139 @@ class TestBenchCheckCLI:
         err = capsys.readouterr().err
         assert "reference report not found" in err
         assert str(missing) in err
+
+    def test_check_failure_writes_minimized_repro_script(
+            self, capsys, tmp_path, monkeypatch):
+        import json
+
+        payload = {"schema": 1, "mode": "quick", "jobs": 1,
+                   "baseline_commit": "abc1234",
+                   "sections": {"figure5": {"specs": 4,
+                                            "baseline_seconds": 20.0,
+                                            "current_seconds": 16.0,
+                                            "speedup": 1.25}},
+                   "total": {"baseline_seconds": 20.0,
+                             "current_seconds": 16.0, "speedup": 1.25}}
+        monkeypatch.setattr("repro.runner.run_bench",
+                            lambda **kwargs: payload)
+        reference = tmp_path / "ref.json"
+        reference.write_text(json.dumps(
+            {"mode": "quick",
+             "sections": {"figure5": {"current_seconds": 10.0}}}))
+        script = tmp_path / "repro.py"
+        assert main(["bench", "--quick",
+                     "--output", str(tmp_path / "bench.json"),
+                     "--check", str(reference),
+                     "--repro-script", str(script)]) == 1
+        err = capsys.readouterr().err
+        assert "bench regression:" in err
+        assert f"bench regression repro script: {script}" in err
+        text = script.read_text()
+        assert "'figure5': 15.0," in text
+        compile(text, str(script), "exec")   # the script at least parses
+
+    def test_check_mismatch_without_slowdown_writes_no_script(
+            self, capsys, tmp_path, monkeypatch):
+        import json
+
+        # Mode mismatch fails the check but is not re-timeable, so no
+        # repro script should appear.
+        payload = {"schema": 1, "mode": "quick", "jobs": 1,
+                   "baseline_commit": "abc1234", "sections": {},
+                   "total": {"baseline_seconds": 0.0,
+                             "current_seconds": 0.0, "speedup": None}}
+        monkeypatch.setattr("repro.runner.run_bench",
+                            lambda **kwargs: payload)
+        reference = tmp_path / "ref.json"
+        reference.write_text(json.dumps({"mode": "full", "sections": {}}))
+        script = tmp_path / "repro.py"
+        assert main(["bench", "--quick",
+                     "--output", str(tmp_path / "bench.json"),
+                     "--check", str(reference),
+                     "--repro-script", str(script)]) == 1
+        assert "bench regression:" in capsys.readouterr().err
+        assert not script.exists()
+
+
+class TestBenchFormatting:
+    def test_format_bench_tolerates_untimeable_sections(self):
+        from repro.runner import format_bench
+
+        # A near-zero elapsed leaves speedup as None; the formatter
+        # must say "n/a", not raise TypeError on the float format.
+        payload = {"mode": "quick", "jobs": 1, "baseline_commit": "abc1234",
+                   "sections": {"tables": {"specs": 3,
+                                           "baseline_seconds": 0.0,
+                                           "current_seconds": 0.0,
+                                           "speedup": None}},
+                   "total": {"baseline_seconds": 0.0,
+                             "current_seconds": 0.0, "speedup": None}}
+        text = format_bench(payload)
+        assert text.count("n/a") == 2
+        assert "None" not in text
+
+    def test_check_bench_reports_missing_sections_mapping(self):
+        from repro.runner import check_bench
+
+        reference = {"mode": "quick",
+                     "sections": {"figure5": {"current_seconds": 1.0}}}
+        assert check_bench({"mode": "quick"}, reference) \
+            == ["payload has no 'sections' mapping"]
+
+
+class TestBenchRepro:
+    REFERENCE = {"mode": "quick",
+                 "sections": {"figure5": {"current_seconds": 10.0},
+                              "tables": {"current_seconds": 1.0}}}
+
+    def test_regressed_sections_names_only_slowdowns(self):
+        from repro.runner import regressed_sections
+
+        payload = {"mode": "quick",
+                   "sections": {"figure5": {"current_seconds": 16.0},
+                                "tables": {"current_seconds": 1.0}}}
+        assert regressed_sections(payload, self.REFERENCE, 0.5) \
+            == {"figure5": 15.0}
+
+    def test_mode_mismatch_is_not_minimizable(self):
+        from repro.runner import regressed_sections
+
+        payload = {"mode": "full",
+                   "sections": {"figure5": {"current_seconds": 99.0}}}
+        assert regressed_sections(payload, self.REFERENCE) == {}
+
+    def test_script_generation_requires_a_regression(self):
+        from repro.runner import bench_repro_script
+
+        with pytest.raises(ValueError, match="no regressed sections"):
+            bench_repro_script({"mode": "quick", "sections": {}},
+                               self.REFERENCE)
+
+    def test_write_bench_repro_embeds_the_limits(self, tmp_path):
+        from repro.runner import write_bench_repro
+
+        payload = {"mode": "quick",
+                   "sections": {"figure5": {"current_seconds": 16.0}}}
+        target = write_bench_repro(payload, self.REFERENCE, 0.5,
+                                   tmp_path / "r.py")
+        text = target.read_text()
+        assert "MODE = 'quick'" in text
+        assert "'figure5': 15.0," in text
+        assert "SystemExit" in text
+        compile(text, str(target), "exec")
+
+
+class TestCacheStaleTempsCLI:
+    def test_cache_reports_and_clears_stranded_temps(self, capsys,
+                                                     tmp_path):
+        cache_dir = tmp_path / "cache"
+        cache_dir.mkdir()
+        (cache_dir / "last_run.tmp.4242").write_text("{ half a tally")
+        assert main(["--cache-dir", str(cache_dir), "cache"]) == 0
+        out = capsys.readouterr().out
+        assert "stale temp files: 1" in out
+        assert main(["--cache-dir", str(cache_dir), "cache",
+                     "--clear"]) == 0
+        assert "removed 1" in capsys.readouterr().out
+        assert main(["--cache-dir", str(cache_dir), "cache"]) == 0
+        assert "stale temp" not in capsys.readouterr().out

@@ -293,3 +293,115 @@ class TestRunResult:
         assert loaded.spec == result.spec
         assert loaded.metrics == result.metrics
         assert loaded.cached
+
+
+# ----------------------------------------------------------------------
+# Cache hygiene regressions: stale temps, racing stat(), digest cost
+# ----------------------------------------------------------------------
+class TestCacheHygiene:
+    def test_stale_temps_listed_and_swept_by_clear(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = spec_for()
+        cache.put(spec, execute_spec(spec))
+        # Strand the two temp shapes a killed run can leave behind:
+        # an entry write and a last_run.json write.
+        entry_temp = cache.path_for(spec).with_suffix(".tmp.99999")
+        entry_temp.write_text("{ half an entry")
+        tally_temp = tmp_path / "last_run.tmp.99999"
+        tally_temp.write_text("{ half a tally")
+        assert set(cache.stale_temps()) == {entry_temp, tally_temp}
+        # Temps are invisible to entries(): never parsed as results.
+        assert cache.entries() == [cache.path_for(spec)]
+        assert cache.clear() == 3
+        assert cache.stale_temps() == []
+        assert cache.entries() == []
+
+    def test_stale_temps_empty_without_a_cache_dir(self, tmp_path):
+        assert ResultCache(tmp_path / "never-made").stale_temps() == []
+
+    def test_entry_info_survives_entry_vanishing_mid_listing(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = spec_for()
+        cache.put(spec, execute_spec(spec))
+        # A dangling symlink reproduces the race deterministically: the
+        # glob sees the name, the stat() finds nothing.
+        ghost = cache.path_for(spec).parent / ("f" * 64 + ".json")
+        ghost.symlink_to(tmp_path / "deleted-by-another-process.json")
+        rows = cache.entry_info()
+        assert len(rows) == 2
+        ghost_row = next(r for r in rows if r["digest"] == "f" * 64)
+        assert ghost_row["error"].startswith("unreadable")
+        assert ghost_row["size_bytes"] == 0
+        live_row = next(r for r in rows if "error" not in r)
+        assert live_row["label"] == spec.label
+
+    def test_get_computes_the_digest_once(self, tmp_path, monkeypatch):
+        cache = ResultCache(tmp_path)
+        spec = spec_for()
+        cache.put(spec, execute_spec(spec))
+        calls = []
+        original = ExperimentSpec.digest
+
+        def counting(self, schema_version=SPEC_SCHEMA_VERSION):
+            calls.append(schema_version)
+            return original(self, schema_version)
+
+        monkeypatch.setattr(ExperimentSpec, "digest", counting)
+        assert cache.get(spec) is not None          # hit
+        assert len(calls) == 1
+        calls.clear()
+        assert cache.get(spec.replace(tc_entries=128)) is None   # miss
+        assert len(calls) == 1
+
+
+# ----------------------------------------------------------------------
+# Concurrent writers sharing one cache directory
+# ----------------------------------------------------------------------
+def _hammer_cache(root, spec_payload, result_payload, rounds):
+    """Worker for the concurrent-writer test (module level: picklable).
+
+    Repeatedly stores and reloads the same digest, periodically tearing
+    the entry mid-loop the way a crashed writer would, and returns how
+    many reloads were served (hit or recovered-miss — never a crash).
+    """
+    from repro.runner import ExperimentSpec, ResultCache, RunResult
+
+    spec = ExperimentSpec.from_dict(spec_payload)
+    result = RunResult.from_dict(result_payload)
+    cache = ResultCache(root)
+    served = 0
+    for round_no in range(rounds):
+        cache.put(spec, result)
+        if round_no % 5 == 3:
+            try:
+                cache.path_for(spec).write_text("{ torn write")
+            except OSError:
+                pass
+        if cache.get(spec) is not None:
+            served += 1
+    return served
+
+
+class TestConcurrentWriters:
+    def test_two_processes_hammering_one_digest_recover(self, tmp_path):
+        from concurrent.futures import ProcessPoolExecutor
+
+        spec = spec_for()
+        result = execute_spec(spec)
+        root = tmp_path / "shared"
+        with ProcessPoolExecutor(max_workers=2) as pool:
+            futures = [pool.submit(_hammer_cache, str(root), spec.to_dict(),
+                                   result.to_dict(), 25) for _ in range(2)]
+            served = [future.result(timeout=120) for future in futures]
+        # Neither process crashed, and each was served real results.
+        assert all(count > 0 for count in served)
+        # The survivor state is sane: a fresh put/get round-trips, the
+        # only residue is quarantined bytes, and no temp is stranded.
+        cache = ResultCache(root)
+        cache.put(spec, result)
+        loaded = cache.get(spec)
+        assert loaded is not None
+        assert loaded.metrics == result.metrics
+        assert cache.stale_temps() == []
+        for leftover in cache.quarantined():
+            assert leftover.name.endswith(".json.corrupt")
