@@ -24,6 +24,11 @@ A from-scratch trace-processor simulation stack:
 * :mod:`repro.obs` — observability: the cycle-domain event bus,
   interval metrics, run manifests, Chrome/Perfetto export and stdlib
   logging behind ``python -m repro stats`` / ``trace``;
+* :mod:`repro.telemetry` — host-domain (wall-clock) observability of
+  the harness itself: span tracing across the process pool, the
+  OpenMetrics registry, merged host+sim Perfetto export and
+  ``cProfile`` capture behind ``--telemetry-json`` /
+  ``python -m repro profile``;
 * :mod:`repro.api` — the stable import facade for all of the above.
 
 Quickstart::
@@ -50,7 +55,7 @@ from repro.static import (
     verify_image,
 )
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "__version__",

@@ -42,6 +42,17 @@ The surface, by layer:
   event sinks, :class:`IntervalMetrics`, :func:`build_manifest`,
   :func:`write_perfetto` / :func:`validate_chrome_trace`, and the
   :func:`get_logger` / :func:`configure_logging` logging helpers;
+* **Host telemetry** — wall-clock observability of the harness itself:
+  :func:`enable_telemetry` / :func:`disable_telemetry` /
+  :func:`telemetry_session` / :func:`current_telemetry` manage the
+  process-wide :class:`Telemetry` session, :func:`span` traces a
+  region, :class:`SpanTracer` / :class:`MetricsRegistry` are the
+  underlying stores, :func:`format_span_tree` renders span forests,
+  :func:`merged_perfetto_trace` / :func:`write_merged_perfetto` /
+  :func:`validate_merged_trace` export host + cycle domains into one
+  Perfetto file, and :func:`hotspot_rows` summarizes ``cProfile``
+  captures; bench trajectories persist via :func:`append_trajectory` /
+  :func:`read_trajectory` / :func:`trajectory_reference`;
 * **Building blocks** (for custom workload scripts) —
   :func:`assemble`, :class:`ProgramImage`, :class:`FunctionalEngine`,
   :class:`TraceCache`, :class:`PreconstructionEngine`, ...
@@ -116,11 +127,14 @@ from repro.runner import (
     RunResult,
     StreamCache,
     TimingReport,
+    append_trajectory,
     build_frontend_config,
     build_processor_config,
+    read_trajectory,
     resolve_instructions,
     run_point,
     sweep,
+    trajectory_reference,
 )
 from repro.sim import (
     DynamicPartitionConfig,
@@ -134,6 +148,21 @@ from repro.static import (
     StaticFacts,
     analyze_image,
     predict_coverage,
+)
+from repro.telemetry import (
+    MetricsRegistry,
+    SpanTracer,
+    Telemetry,
+    current_telemetry,
+    disable_telemetry,
+    enable_telemetry,
+    format_span_tree,
+    hotspot_rows,
+    merged_perfetto_trace,
+    span,
+    telemetry_session,
+    validate_merged_trace,
+    write_merged_perfetto,
 )
 from repro.trace import TraceCache, traces_of_stream
 from repro.triage import (
@@ -208,6 +237,7 @@ __all__ = [
     "IntervalMetrics",
     "JsonlSink",
     "MechanismContext",
+    "MetricsRegistry",
     "MinimizedCase",
     "NullSink",
     "ObsBus",
@@ -221,15 +251,18 @@ __all__ = [
     "RunCapture",
     "RunResult",
     "SPEC95_NAMES",
+    "SpanTracer",
     "StaticAnalysisReport",
     "StaticFacts",
     "StreamCache",
+    "Telemetry",
     "TimingReport",
     "TraceCache",
     "Violation",
     "WorkloadProfile",
     "analyze",
     "analyze_image",
+    "append_trajectory",
     "assemble",
     "build_frontend_config",
     "build_manifest",
@@ -243,8 +276,11 @@ __all__ = [
     "compute_tables",
     "configure_logging",
     "create_mechanism",
+    "current_telemetry",
     "diff_runs",
     "diff_specs",
+    "disable_telemetry",
+    "enable_telemetry",
     "figure5_sweep",
     "figure6",
     "figure8",
@@ -253,17 +289,21 @@ __all__ = [
     "format_figure5",
     "format_figure6",
     "format_figure8",
+    "format_span_tree",
     "fuzz_profile",
     "generate",
     "get_logger",
+    "hotspot_rows",
     "load_capture",
     "mechanism_names",
+    "merged_perfetto_trace",
     "minimize_case",
     "oracle_names",
     "predict",
     "predict_coverage",
     "profile_for",
     "rank_hypotheses",
+    "read_trajectory",
     "register_mechanism",
     "render_report",
     "resolve_instructions",
@@ -275,9 +315,14 @@ __all__ = [
     "run_observed_many",
     "run_point",
     "run_processor",
+    "span",
     "sweep",
+    "telemetry_session",
     "traces_of_stream",
+    "trajectory_reference",
     "validate_chrome_trace",
+    "validate_merged_trace",
+    "write_merged_perfetto",
     "write_perfetto",
     "write_report",
 ]

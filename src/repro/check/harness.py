@@ -141,10 +141,14 @@ def execute_check(spec) -> dict[str, Any]:
     on a caller's oracle selection) over the spec's benchmark at the
     spec's sizing.
     """
-    profile = profile_for(spec.benchmark, spec.workload_seed)
-    report = check_profile(profile, spec.instructions,
-                           tc_entries=spec.tc_entries,
-                           pb_entries=spec.pb_entries,
-                           static_seed=spec.static_seed,
-                           mechanism=spec.mechanism)
-    return report.to_metrics()
+    from repro.telemetry import span
+
+    with span("check.case", benchmark=spec.benchmark,
+              instructions=spec.instructions):
+        profile = profile_for(spec.benchmark, spec.workload_seed)
+        report = check_profile(profile, spec.instructions,
+                               tc_entries=spec.tc_entries,
+                               pb_entries=spec.pb_entries,
+                               static_seed=spec.static_seed,
+                               mechanism=spec.mechanism)
+        return report.to_metrics()

@@ -20,6 +20,9 @@ Usage::
     python -m repro diff run_a.json run_b.json [--json]
     python -m repro report --metrics m.jsonl --bench BENCH_quick.json -o out.html
     python -m repro cache [--clear]
+    python -m repro all --telemetry-json telemetry.json
+    python -m repro telemetry [DUMP] [--openmetrics | --json]
+    python -m repro profile [--pstats out.pstats] bench --quick
 
 Observability: ``repro stats`` and ``repro trace`` run one frontend
 point with the :mod:`repro.obs` event bus attached — ``stats`` prints
@@ -27,6 +30,16 @@ the counter summary plus interval histograms, ``trace`` exports a
 Chrome/Perfetto ``trace.json`` of the engine timeline (plus optional
 raw ``events.jsonl`` / ``metrics.jsonl``).  ``-v``/``--log-level``
 configure stdlib logging for every command.
+
+Host-domain telemetry (:mod:`repro.telemetry`) is the wall-clock
+mirror: ``--telemetry-json`` on ``all``/``bench``/``fuzz``/``compare``
+traces the scheduler, result cache and workload generation (spans +
+metrics registry, propagated across worker processes), ``repro
+telemetry`` prints the last dump, ``repro profile <cmd>`` wraps any
+command in ``cProfile``, and ``repro --profile`` captures a per-point
+profile into the run manifests.  Telemetry is off — and free — by
+default, and never perturbs results: ``repro all`` output is
+byte-identical either way.
 
 Every exhibit command routes through :mod:`repro.runner`: points are
 described as :class:`ExperimentSpec` batches, deduplicated, served
@@ -96,6 +109,12 @@ def _parser() -> argparse.ArgumentParser:
                              "REPRO_CACHE_DIR env, else ~/.cache/repro)")
     parser.add_argument("--no-cache", action="store_true",
                         help="do not read or write the result cache")
+    parser.add_argument("--profile", action="store_true",
+                        help="capture a cProfile per executed sweep point "
+                             "(written under --profile-dir)")
+    parser.add_argument("--profile-dir", default=None, metavar="DIR",
+                        help="directory for per-point .pstats captures "
+                             "(implies --profile; default: profiles)")
     parser.add_argument("-v", "--verbose", action="count", default=0,
                         help="increase log verbosity (-v info, -vv debug)")
     parser.add_argument("--log-level", default=None,
@@ -215,6 +234,14 @@ def _parser() -> argparse.ArgumentParser:
                         help="dump every point's raw counter summary "
                              "as JSON")
 
+    def telemetry_arg(cmd: argparse.ArgumentParser) -> None:
+        cmd.add_argument("--telemetry-json", default=None, metavar="PATH",
+                         help="enable host-domain telemetry and write the "
+                              "span/metrics dump as JSON")
+
+    telemetry_arg(allcmd)
+    telemetry_arg(compare)
+
     bench = sub.add_parser(
         "bench", help="time the hot path cold against the seeded baseline")
     bench.add_argument("--quick", action="store_true",
@@ -239,6 +266,15 @@ def _parser() -> argparse.ArgumentParser:
                        help="where a failing --check writes its minimized "
                             "standalone repro script "
                             "(default: bench_regression_repro.py)")
+    bench.add_argument("--trajectory", default=None, metavar="PATH",
+                       help="append this run to a bench history JSONL "
+                            "(default: BENCH_trajectory.jsonl)")
+    bench.add_argument("--no-trajectory", action="store_true",
+                       help="do not append this run to the bench history")
+    bench.add_argument("--perfetto", default=None, metavar="PATH",
+                       help="write a merged host+sim Perfetto trace "
+                            "(implies telemetry)")
+    telemetry_arg(bench)
 
     from repro.check.oracles import oracle_names
 
@@ -268,6 +304,7 @@ def _parser() -> argparse.ArgumentParser:
                            "the directory is only created on failure)")
     fuzz.add_argument("--json", action="store_true",
                       help="emit the fuzz report as JSON")
+    telemetry_arg(fuzz)
 
     diff = sub.add_parser(
         "diff", help="localize the first divergence between two runs "
@@ -296,6 +333,10 @@ def _parser() -> argparse.ArgumentParser:
                            metavar="PATH",
                            help="Perfetto trace.json to deep-link "
                                 "(repeatable)")
+    reportcmd.add_argument("--trajectory", action="append", default=[],
+                           metavar="PATH",
+                           help="BENCH_trajectory.jsonl history for the "
+                                "trajectory panel (repeatable)")
     reportcmd.add_argument("--title", default=None,
                            help="dashboard title")
     reportcmd.add_argument("-o", "--output", default="report.html",
@@ -305,6 +346,30 @@ def _parser() -> argparse.ArgumentParser:
     cachecmd = sub.add_parser("cache", help="inspect the result cache")
     cachecmd.add_argument("--clear", action="store_true",
                           help="delete every cached result")
+
+    telemetrycmd = sub.add_parser(
+        "telemetry", help="print a telemetry dump: span tree and "
+                          "metrics registry")
+    telemetrycmd.add_argument("input", nargs="?", default=None,
+                              metavar="DUMP",
+                              help="telemetry dump JSON (default: "
+                                   "<cache-root>/last_telemetry.json)")
+    telemetrycmd.add_argument("--openmetrics", action="store_true",
+                              help="print the metrics registry as "
+                                   "OpenMetrics text")
+    telemetrycmd.add_argument("--json", action="store_true",
+                              help="print the raw dump as canonical JSON")
+
+    profilecmd = sub.add_parser(
+        "profile", help="run another repro command under cProfile and "
+                        "print a hotspot summary")
+    profilecmd.add_argument("--pstats", default=None, metavar="PATH",
+                            help="also write the raw .pstats capture")
+    profilecmd.add_argument("--top", type=int, default=15,
+                            help="hotspot rows to print (default: 15)")
+    profilecmd.add_argument("wrapped", nargs=argparse.REMAINDER,
+                            metavar="CMD",
+                            help="the repro command line to profile")
     return parser
 
 
@@ -425,7 +490,8 @@ def _run_exhibits(args, instructions: int) -> int:
     progress = stderr_progress if (args.jobs > 1 or args.command == "all") \
         else None
     runner = ExperimentRunner(jobs=args.jobs, cache=result_cache,
-                              progress=progress)
+                              progress=progress,
+                              profile_dir=_profile_dir(args))
     lookup: Lookup = dict(zip(specs, runner.run(specs)))
     for index, (_, _, render) in enumerate(exhibits):
         if index:
@@ -514,11 +580,140 @@ def _run_trace(args, instructions: int) -> int:
     return 0
 
 
+def _profile_dir(args) -> Optional[str]:
+    """``--profile-dir`` wins; bare ``--profile`` defaults to
+    ``profiles/``; neither means no per-point capture."""
+    if getattr(args, "profile_dir", None):
+        return str(args.profile_dir)
+    if getattr(args, "profile", False):
+        return "profiles"
+    return None
+
+
+def _run_profile(args) -> int:
+    """``repro profile <cmd>``: re-enter :func:`main` under cProfile."""
+    from repro.telemetry import format_hotspots, profile_call
+
+    wrapped = list(args.wrapped)
+    if wrapped and wrapped[0] == "--":
+        wrapped = wrapped[1:]
+    if not wrapped:
+        print("profile: no command given (usage: repro profile "
+              "[--pstats PATH] [--top N] <command> [args...])",
+              file=sys.stderr)
+        return 2
+    status, rows, written = profile_call(lambda: main(wrapped),
+                                         pstats_path=args.pstats,
+                                         top=args.top)
+    print(format_hotspots(rows), file=sys.stderr)
+    if written is not None:
+        print(f"pstats written to {written}", file=sys.stderr)
+    return status
+
+
+def _run_telemetry(args) -> int:
+    """``repro telemetry``: render a saved dump."""
+    from repro.telemetry import (
+        LAST_TELEMETRY_FILE,
+        MetricsRegistry,
+        format_telemetry,
+        load_telemetry,
+    )
+
+    path = (Path(args.input) if args.input
+            else ResultCache(args.cache_dir).root / LAST_TELEMETRY_FILE)
+    try:
+        payload = load_telemetry(path)
+    except (OSError, ValueError) as error:
+        print(f"telemetry: cannot read dump {path} ({error}); run a "
+              f"command with --telemetry-json first", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    elif args.openmetrics:
+        registry = MetricsRegistry.from_dict(payload.get("metrics") or {})
+        print(registry.to_openmetrics(), end="")
+    else:
+        print(format_telemetry(payload))
+    return 0
+
+
+def _write_telemetry_outputs(args, tele, telemetry_json) -> None:
+    """Persist the session: the requested path plus the cache-root
+    copy ``repro telemetry`` reads by default."""
+    from repro.telemetry import LAST_TELEMETRY_FILE, write_telemetry
+
+    if telemetry_json:
+        path = write_telemetry(tele, telemetry_json)
+        print(f"telemetry dump written to {path}", file=sys.stderr)
+    if not args.no_cache:
+        root = ResultCache(args.cache_dir).root
+        try:
+            root.mkdir(parents=True, exist_ok=True)
+            write_telemetry(tele, root / LAST_TELEMETRY_FILE)
+        except OSError:  # pragma: no cover - unwritable cache root
+            pass
+
+
+def _write_bench_perfetto(args) -> int:
+    """``repro bench --perfetto``: merge this session's host spans with
+    a cycle-domain capture of the first bench point into one trace."""
+    from repro.obs import run_observed
+    from repro.runner import bench_sections
+    from repro.telemetry import (
+        current_telemetry,
+        validate_merged_trace,
+        write_merged_perfetto,
+    )
+
+    tele = current_telemetry()
+    if tele is None:  # pragma: no cover - main() enables before dispatch
+        return 0
+    sample = bench_sections(args.quick)[0][1][0]
+    with tele.span("bench.observe", label=sample.label):
+        observed = run_observed(sample)
+    path = write_merged_perfetto(tele.tracer.spans(), observed.events,
+                                 args.perfetto)
+    trace = json.loads(Path(path).read_text())
+    problems = validate_merged_trace(trace)
+    if problems:  # pragma: no cover - exporter bug guard
+        for problem in problems:
+            print(f"invalid merged trace: {problem}", file=sys.stderr)
+        return 1
+    print(f"merged perfetto trace ({len(trace['traceEvents'])} events, "
+          f"host+sim) written to {path}", file=sys.stderr)
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     args = _parser().parse_args(argv)
     from repro.obs.log import configure_logging, level_from_args
 
     configure_logging(level_from_args(args.verbose, args.log_level))
+    if args.command == "profile":
+        return _run_profile(args)
+    if args.command == "telemetry":
+        return _run_telemetry(args)
+
+    telemetry_json = getattr(args, "telemetry_json", None)
+    wants_perfetto = (args.command == "bench"
+                      and getattr(args, "perfetto", None))
+    if not telemetry_json and not wants_perfetto:
+        return _dispatch(args)
+
+    from repro.telemetry import disable_telemetry, enable_telemetry
+
+    tele = enable_telemetry()
+    try:
+        with tele.span(f"cli.{args.command}"):
+            status = _dispatch(args)
+        _write_telemetry_outputs(args, tele, telemetry_json)
+    finally:
+        disable_telemetry()
+    return status
+
+
+def _dispatch(args) -> int:
     if args.command == "list":
         for name in SPEC95_NAMES:
             print(name)
@@ -586,26 +781,52 @@ def main(argv: Sequence[str] | None = None) -> int:
 
     if args.command == "bench":
         from repro.runner import (
+            TRAJECTORY_FILE,
+            append_trajectory,
             check_bench,
             format_bench,
             regressed_sections,
             run_bench,
+            trajectory_reference,
             write_bench_repro,
             write_bench_report,
         )
 
         payload = run_bench(quick=args.quick, jobs=args.jobs,
-                            progress=stderr_progress)
+                            progress=stderr_progress,
+                            profile_dir=_profile_dir(args))
         path = write_bench_report(payload, args.output)
         print(format_bench(payload))
         print(f"report written to {path}", file=sys.stderr)
+        # Resolve the --check reference *before* appending to the
+        # trajectory — a .jsonl reference means "the last recorded run
+        # of this mode", never the run that just finished.
+        reference = None
         if args.check:
             check_path = Path(args.check)
-            if not check_path.is_file():
+            if check_path.suffix == ".jsonl":
+                reference = trajectory_reference(check_path,
+                                                 payload["mode"])
+                if reference is None:
+                    print(f"bench --check: no {payload['mode']!r} rows "
+                          f"in trajectory {check_path}", file=sys.stderr)
+                    return 1
+            elif not check_path.is_file():
                 print(f"bench --check: reference report not found: "
                       f"{check_path}", file=sys.stderr)
                 return 1
-            reference = json.loads(check_path.read_text())
+            else:
+                reference = json.loads(check_path.read_text())
+        if not args.no_trajectory:
+            trajectory = append_trajectory(
+                payload, args.trajectory or TRAJECTORY_FILE)
+            print(f"trajectory appended to {trajectory}",
+                  file=sys.stderr)
+        if args.perfetto:
+            status = _write_bench_perfetto(args)
+            if status:
+                return status
+        if reference is not None:
             problems = check_bench(payload, reference,
                                    tolerance=args.tolerance)
             if problems:
@@ -663,6 +884,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         try:
             path = write_report(args.output, metrics=args.metrics,
                                 bench=args.bench, traces=args.perfetto,
+                                trajectory=args.trajectory,
                                 title=args.title)
         except (OSError, ValueError) as error:
             print(f"report: {error}", file=sys.stderr)

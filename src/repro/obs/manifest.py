@@ -16,8 +16,9 @@ from __future__ import annotations
 
 import platform
 import socket
-import time
 from typing import TYPE_CHECKING, Any
+
+from repro.telemetry.session import utc_timestamp
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.runner.spec import ExperimentSpec
@@ -57,7 +58,8 @@ def build_manifest(spec: "ExperimentSpec", *,
         "workload_seed": spec.workload_seed,
     }
     if include_host:
-        manifest["created_at"] = time.strftime(
-            "%Y-%m-%dT%H:%M:%S%z", time.localtime())
+        # UTC with a pinned +0000 offset: manifests (and therefore
+        # cache entries) must not depend on the producing host's TZ.
+        manifest["created_at"] = utc_timestamp()
         manifest["host"] = host_info()
     return manifest

@@ -14,12 +14,16 @@
 """
 
 from repro.runner.bench import (
+    TRAJECTORY_FILE,
+    append_trajectory,
     bench_repro_script,
     bench_sections,
     check_bench,
     format_bench,
+    read_trajectory,
     regressed_sections,
     run_bench,
+    trajectory_reference,
     write_bench_repro,
     write_bench_report,
 )
@@ -50,9 +54,10 @@ from repro.runner.spec import (
 )
 
 __all__ = [
-    "bench_repro_script", "bench_sections", "check_bench", "format_bench",
-    "regressed_sections", "run_bench", "write_bench_repro",
-    "write_bench_report",
+    "TRAJECTORY_FILE", "append_trajectory", "bench_repro_script",
+    "bench_sections", "check_bench", "format_bench", "read_trajectory",
+    "regressed_sections", "run_bench", "trajectory_reference",
+    "write_bench_repro", "write_bench_report",
     "CACHE_DIR_ENV", "LAST_RUN_FILE", "ResultCache", "default_cache_dir",
     "ExperimentRunner", "StreamCache", "TimingReport", "execute_spec",
     "run_point", "stderr_progress", "sweep",

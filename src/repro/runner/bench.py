@@ -21,16 +21,23 @@ and speedup per section, plus the full scheduler timing report — to
 from __future__ import annotations
 
 import json
+import subprocess
 import time
 from pathlib import Path
 from typing import Any, Callable, Optional
 
 from repro.runner.pool import ExperimentRunner
 from repro.runner.spec import ExperimentSpec
+from repro.telemetry.session import current_telemetry, utc_timestamp
 
 #: Commit the baselines were measured on (the parent of the hot-path
 #: overhaul PR), recorded so a report is interpretable on its own.
 BASELINE_COMMIT = "61d73a5"
+
+#: Committed append-only history of bench runs — what ``repro
+#: report``'s trajectory panel and ``bench --check`` (against a
+#: ``.jsonl``) read.
+TRAJECTORY_FILE = "BENCH_trajectory.jsonl"
 
 #: Pinned budgets — changing these invalidates the baselines.
 FULL_INSTRUCTIONS = 60_000
@@ -65,7 +72,8 @@ def bench_sections(quick: bool = False
 
 
 def run_bench(quick: bool = False, jobs: int = 1,
-              progress: Optional[Callable[[str], None]] = None
+              progress: Optional[Callable[[str], None]] = None,
+              profile_dir: Optional[str | Path] = None
               ) -> dict[str, Any]:
     """Run one bench mode cold and return the report payload.
 
@@ -73,14 +81,23 @@ def run_bench(quick: bool = False, jobs: int = 1,
     stream cache) so section times are independent cold measurements.
     Speedups are only meaningful at ``jobs=1`` — the baselines are
     single-job — but parallel runs still record their wall time.
+    ``profile_dir`` forwards to the runner's per-point ``cProfile``
+    capture (expect skewed wall times under it).
     """
+    tele = current_telemetry()
     mode = "quick" if quick else "full"
     sections: dict[str, Any] = {}
     reports = []
     for name, specs in bench_sections(quick):
-        runner = ExperimentRunner(jobs=jobs, cache=None, progress=progress)
+        runner = ExperimentRunner(jobs=jobs, cache=None, progress=progress,
+                                  profile_dir=profile_dir)
         started = time.perf_counter()
-        runner.run(specs)
+        if tele:
+            with tele.span("bench.section", section=name,
+                           specs=len(specs)):
+                runner.run(specs)
+        else:
+            runner.run(specs)
         elapsed = time.perf_counter() - started
         baseline = BASELINE_SECONDS[(mode, name)]
         sections[name] = {
@@ -117,6 +134,88 @@ def write_bench_report(payload: dict[str, Any],
     target = Path(path)
     target.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     return target
+
+
+# ----------------------------------------------------------------------
+# Bench trajectory (append-only history)
+# ----------------------------------------------------------------------
+def _git_commit() -> str:
+    """The working tree's short commit, or ``"unknown"`` outside git."""
+    try:
+        output = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, timeout=10, check=True)
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    commit = output.stdout.strip()
+    return commit or "unknown"
+
+
+def trajectory_row(payload: dict[str, Any],
+                   commit: Optional[str] = None) -> dict[str, Any]:
+    """One history line for a bench payload (commit, mode, sections)."""
+    return {
+        "schema": 1,
+        "recorded_at": utc_timestamp(),
+        "commit": commit if commit is not None else _git_commit(),
+        "mode": payload.get("mode"),
+        "jobs": payload.get("jobs"),
+        "sections": {
+            name: {"specs": section.get("specs"),
+                   "current_seconds": section.get("current_seconds")}
+            for name, section in payload.get("sections", {}).items()
+        },
+        "total_seconds": payload.get("total", {}).get("current_seconds"),
+    }
+
+
+def append_trajectory(payload: dict[str, Any],
+                      path: str | Path = TRAJECTORY_FILE,
+                      commit: Optional[str] = None) -> Path:
+    """Append one run to the committed history; returns the path."""
+    target = Path(path)
+    row = trajectory_row(payload, commit=commit)
+    with target.open("a") as handle:
+        handle.write(json.dumps(row, sort_keys=True) + "\n")
+    return target
+
+
+def read_trajectory(path: str | Path = TRAJECTORY_FILE
+                    ) -> list[dict[str, Any]]:
+    """All history rows, oldest first; missing file reads as empty.
+
+    Damaged lines (a truncated append from a killed run) are skipped
+    rather than poisoning the whole history.
+    """
+    target = Path(path)
+    try:
+        text = target.read_text()
+    except OSError:
+        return []
+    rows: list[dict[str, Any]] = []
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            row = json.loads(line)
+        except ValueError:
+            continue
+        if isinstance(row, dict):
+            rows.append(row)
+    return rows
+
+
+def trajectory_reference(path: str | Path, mode: str
+                         ) -> Optional[dict[str, Any]]:
+    """The newest history row for ``mode``, as a ``check_bench``
+    reference payload — ``bench --check history.jsonl`` compares the
+    fresh run against the last recorded run of the same mode."""
+    for row in reversed(read_trajectory(path)):
+        if row.get("mode") != mode:
+            continue
+        return {"mode": row.get("mode"), "sections": row.get("sections", {})}
+    return None
 
 
 def check_bench(payload: dict[str, Any], reference: dict[str, Any],

@@ -22,12 +22,12 @@ from __future__ import annotations
 
 import json
 import os
-import time
 from pathlib import Path
 from typing import Any, Optional
 
 from repro.obs.log import get_logger
 from repro.runner.spec import SPEC_SCHEMA_VERSION, ExperimentSpec, RunResult
+from repro.telemetry.session import current_telemetry, utc_timestamp
 
 #: Environment override for the cache root (used by tests and CI to
 #: keep runs hermetic).
@@ -64,6 +64,15 @@ class ResultCache:
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        # Captured once: telemetry enabled after construction stays
+        # invisible, keeping the guard monomorphic (PR 4 discipline).
+        self.tele = current_telemetry()
+
+    def _count(self, metric: str, **labels: str) -> None:
+        if self.tele:
+            self.tele.registry.counter(
+                f"repro_cache_{metric}", labels or None,
+                help=f"Result-cache {metric.replace('_', ' ')}").add(1)
 
     # ------------------------------------------------------------------
     def path_for(self, spec: ExperimentSpec) -> Path:
@@ -79,6 +88,18 @@ class ResultCache:
         additionally reported through the ``repro.runner.cache``
         logger, since the silent-recovery path hides real damage.
         """
+        if not self.tele:
+            return self._get(spec)
+        with self.tele.span("cache.get",
+                            digest=spec.digest(self.schema_version)[:12]
+                            ) as record:
+            result = self._get(spec)
+            outcome = "hit" if result is not None else "miss"
+            record["attrs"]["outcome"] = outcome
+            self._count("requests", outcome=outcome)
+            return result
+
+    def _get(self, spec: ExperimentSpec) -> Optional[RunResult]:
         digest = spec.digest(self.schema_version)
         path = self.root / f"v{self.schema_version}" / f"{digest}.json"
         try:
@@ -122,6 +143,7 @@ class ResultCache:
         stays in place and keeps being reported as a miss).
         """
         target = path.with_name(path.name + ".corrupt")
+        self._count("quarantined")
         try:
             return path.replace(target)
         except OSError:
@@ -150,6 +172,14 @@ class ResultCache:
 
     def put(self, spec: ExperimentSpec, result: RunResult) -> Path:
         """Atomically store ``result`` under ``spec``'s digest."""
+        if not self.tele:
+            return self._put(spec, result)
+        with self.tele.span("cache.put",
+                            digest=spec.digest(self.schema_version)[:12]):
+            self._count("writes")
+            return self._put(spec, result)
+
+    def _put(self, spec: ExperimentSpec, result: RunResult) -> Path:
         path = self.path_for(spec)
         path.parent.mkdir(parents=True, exist_ok=True)
         payload = {"schema": self.schema_version,
@@ -211,8 +241,9 @@ class ResultCache:
         path.parent.mkdir(parents=True, exist_ok=True)
         payload = {
             "command": command,
-            "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S%z",
-                                         time.localtime()),
+            # UTC, pinned +0000: the recorded tally must not depend on
+            # the producing host's TZ (regression-tested).
+            "recorded_at": utc_timestamp(),
             "requested": report.get("requested", 0),
             "unique": report.get("unique", 0),
             "executed": report.get("executed", 0),

@@ -28,8 +28,10 @@ from __future__ import annotations
 import sys
 import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
-from dataclasses import dataclass, field
-from typing import Any, Callable, Iterable, Optional, Sequence
+from contextlib import nullcontext
+from dataclasses import replace
+from pathlib import Path
+from typing import Any, Callable, Iterable, Mapping, Optional, Sequence
 
 from repro.engine import FunctionalEngine, StreamRecord
 from repro.obs.manifest import build_manifest
@@ -37,6 +39,8 @@ from repro.processor import run_processor
 from repro.runner.cache import ResultCache
 from repro.runner.spec import ExperimentSpec, RunResult, resolve_instructions
 from repro.sim import DynamicPartitionConfig, run_frontend
+from repro.telemetry.registry import MetricsRegistry
+from repro.telemetry.session import activate_worker, current_telemetry
 from repro.workloads import build_workload
 
 Progress = Callable[[str], None]
@@ -51,6 +55,7 @@ class StreamCache:
 
     def __init__(self, instructions: Optional[int] = None) -> None:
         self.instructions = resolve_instructions(instructions)
+        self.tele = current_telemetry()
         self._streams: dict[tuple[str, Optional[int]],
                             list[StreamRecord]] = {}
         self._images: dict[tuple[str, Optional[int]], Any] = {}
@@ -59,16 +64,22 @@ class StreamCache:
     def image(self, benchmark: str, workload_seed: Optional[int] = None):
         key = (benchmark, workload_seed)
         if key not in self._images:
-            self._images[key] = build_workload(
-                benchmark, seed=workload_seed).image
+            with (self.tele.span("workload.image", benchmark=benchmark)
+                  if self.tele else nullcontext()):
+                self._images[key] = build_workload(
+                    benchmark, seed=workload_seed).image
         return self._images[key]
 
     def stream(self, benchmark: str,
                workload_seed: Optional[int] = None) -> list[StreamRecord]:
         key = (benchmark, workload_seed)
         if key not in self._streams:
-            engine = FunctionalEngine(self.image(benchmark, workload_seed))
-            self._streams[key] = engine.run(self.instructions)
+            image = self.image(benchmark, workload_seed)
+            with (self.tele.span("workload.stream", benchmark=benchmark,
+                                 instructions=self.instructions)
+                  if self.tele else nullcontext()):
+                engine = FunctionalEngine(image)
+                self._streams[key] = engine.run(self.instructions)
         return self._streams[key]
 
     def traces(self, benchmark: str, instructions: int,
@@ -120,6 +131,18 @@ def execute_spec(spec: ExperimentSpec,
     longer stream's prefix equals a shorter run); otherwise a private
     one is built at the spec's budget.
     """
+    tele = current_telemetry()
+    if tele is None:
+        return _execute_spec(spec, stream_cache)
+    with tele.span("runner.point", label=spec.label,
+                   kind=spec.kind) as record:
+        result = _execute_spec(spec, stream_cache)
+        record["attrs"]["wall_seconds"] = round(result.wall_seconds, 6)
+        return result
+
+
+def _execute_spec(spec: ExperimentSpec,
+                  stream_cache: Optional[StreamCache] = None) -> RunResult:
     started = time.perf_counter()
     if spec.kind == "check":
         # Differential validation builds (and re-builds) its own
@@ -175,28 +198,129 @@ def run_point(spec: ExperimentSpec, *,
     return result
 
 
-def _run_group(specs: tuple[ExperimentSpec, ...]) -> list[RunResult]:
+def _execute_point(spec: ExperimentSpec, stream_cache: StreamCache,
+                   profile_dir: Optional[str] = None) -> RunResult:
+    """One point, optionally under a per-point ``cProfile`` capture.
+
+    The ``.pstats`` file is keyed by the spec's digest prefix and a
+    top-N hotspot summary lands in the result's manifest — provenance,
+    so it never affects result identity or cache hits.
+    """
+    if profile_dir is None:
+        return execute_spec(spec, stream_cache)
+    from repro.telemetry.profile import profile_call
+
+    digest = spec.digest()[:16]
+    pstats_path = Path(profile_dir) / f"{digest}.pstats"
+    result, hotspots, written = profile_call(
+        lambda: execute_spec(spec, stream_cache), pstats_path=pstats_path)
+    if not hotspots:     # nested profiler: ran unprofiled
+        return result
+    manifest = dict(result.manifest or {})
+    manifest["profile"] = {"pstats": str(written), "hotspots": hotspots}
+    return replace(result, manifest=manifest)
+
+
+def _run_group(specs: tuple[ExperimentSpec, ...],
+               profile_dir: Optional[str] = None) -> list[RunResult]:
     """Worker entry point: one benchmark group, one stream generation."""
     stream_cache = StreamCache(max(spec.instructions for spec in specs))
-    return [execute_spec(spec, stream_cache) for spec in specs]
+    return [_execute_point(spec, stream_cache, profile_dir)
+            for spec in specs]
+
+
+def _run_group_traced(specs: tuple[ExperimentSpec, ...],
+                      context: Optional[Mapping[str, Any]],
+                      profile_dir: Optional[str] = None
+                      ) -> tuple[list[RunResult],
+                                 Optional[dict[str, Any]]]:
+    """Worker entry point with telemetry and/or profiling.
+
+    ``context`` is the parent's span-context handoff; a fresh worker
+    session is activated (replacing anything fork-inherited) so the
+    harvest shipped back contains only this group's spans/metrics.
+    With ``context=None`` (profiling without telemetry) no session is
+    created and the harvest comes back ``None``.
+    """
+    if context is None:
+        return _run_group(specs, profile_dir), None
+    tele = activate_worker(context)
+    with tele.span("runner.group", benchmark=specs[0].benchmark,
+                   points=len(specs)):
+        results = _run_group(specs, profile_dir)
+    return results, tele.harvest()
 
 
 # ----------------------------------------------------------------------
 # Timing report
 # ----------------------------------------------------------------------
-@dataclass
 class TimingReport:
-    """Cumulative accounting for one runner's lifetime."""
+    """Cumulative accounting for one runner's lifetime.
 
-    jobs: int = 1
-    requested: int = 0      # specs requested, duplicates included
-    unique: int = 0         # distinct specs after dedup
-    executed: int = 0       # simulations actually run
-    cache_hits: int = 0     # specs served from the result cache
-    wall_seconds: float = 0.0
-    points: list[dict[str, Any]] = field(default_factory=list)
+    The tallies are backed by a private
+    :class:`~repro.telemetry.registry.MetricsRegistry` (counters plus
+    a fixed-bucket histogram of per-point wall times), but the public
+    shape — ``requested`` / ``unique`` / ``executed`` / ``cache_hits``
+    / ``wall_seconds`` attributes, ``points`` list, ``to_dict`` /
+    ``to_json`` / ``summary`` — is unchanged from the dataclass era.
+    The registry is private, not the process session's: ``repro
+    bench`` builds one runner per section and each section's report
+    must stand alone.
+    """
+
+    def __init__(self, jobs: int = 1) -> None:
+        self.jobs = jobs
+        self.points: list[dict[str, Any]] = []
+        self.registry = MetricsRegistry()
+        self._requested = self.registry.counter(
+            "repro_runner_requested",
+            help="Specs requested, duplicates included")
+        self._unique = self.registry.counter(
+            "repro_runner_unique", help="Distinct specs after dedup")
+        self._executed = self.registry.counter(
+            "repro_runner_executed", help="Simulations actually run")
+        self._cache_hits = self.registry.counter(
+            "repro_runner_cache_hits",
+            help="Specs served from the result cache")
+        self._wall = self.registry.counter(
+            "repro_runner_wall_seconds",
+            help="Scheduler wall-clock seconds")
+        self._point_seconds = self.registry.histogram(
+            "repro_runner_point_seconds",
+            help="Per-point simulation wall seconds")
+
+    @property
+    def requested(self) -> int:
+        return int(self._requested.value)
+
+    @property
+    def unique(self) -> int:
+        return int(self._unique.value)
+
+    @property
+    def executed(self) -> int:
+        return int(self._executed.value)
+
+    @property
+    def cache_hits(self) -> int:
+        return int(self._cache_hits.value)
+
+    @property
+    def wall_seconds(self) -> float:
+        return float(self._wall.value)
+
+    def add(self, *, requested: int = 0, unique: int = 0,
+            executed: int = 0, cache_hits: int = 0,
+            wall_seconds: float = 0.0) -> None:
+        """One scheduler pass's tallies (the runner calls this)."""
+        self._requested.add(requested)
+        self._unique.add(unique)
+        self._executed.add(executed)
+        self._cache_hits.add(cache_hits)
+        self._wall.add(wall_seconds)
 
     def record(self, result: RunResult) -> None:
+        self._point_seconds.observe(result.wall_seconds)
         self.points.append({"spec": result.spec.label,
                             "kind": result.spec.kind,
                             "wall_seconds": result.wall_seconds,
@@ -237,13 +361,16 @@ class ExperimentRunner:
     def __init__(self, jobs: int = 1,
                  cache: Optional[ResultCache] = None,
                  stream_cache: Optional[StreamCache] = None,
-                 progress: Optional[Progress] = None) -> None:
+                 progress: Optional[Progress] = None,
+                 profile_dir: Optional[str | Path] = None) -> None:
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
         self.jobs = jobs
         self.cache = cache
         self.stream_cache = stream_cache
         self.progress = progress
+        self.profile_dir = str(profile_dir) if profile_dir else None
+        self.tele = current_telemetry()
         self.report = TimingReport(jobs=jobs)
 
     # ------------------------------------------------------------------
@@ -252,6 +379,13 @@ class ExperimentRunner:
 
         Duplicate specs are computed once and share one result object.
         """
+        if self.tele is None:
+            return self._run(specs)
+        with self.tele.span("runner.batch", specs=len(specs),
+                            jobs=self.jobs):
+            return self._run(specs)
+
+    def _run(self, specs: Sequence[ExperimentSpec]) -> list[RunResult]:
         started = time.perf_counter()
         unique = list(dict.fromkeys(specs))
         results: dict[ExperimentSpec, RunResult] = {}
@@ -277,13 +411,24 @@ class ExperimentRunner:
             if self.cache is not None:
                 self.cache.put(result.spec, result)
 
-        self.report.requested += len(specs)
-        self.report.unique += len(unique)
-        self.report.executed += len(executed)
-        self.report.cache_hits += hits
-        self.report.wall_seconds += time.perf_counter() - started
+        wall = time.perf_counter() - started
+        self.report.add(requested=len(specs), unique=len(unique),
+                        executed=len(executed), cache_hits=hits,
+                        wall_seconds=wall)
         for spec in unique:
             self.report.record(results[spec])
+        if self.tele:
+            # Mirror *this pass's deltas* into the process session (the
+            # report itself is cumulative across batches) so
+            # ``--telemetry-json`` sees scheduler totals without
+            # reaching into per-runner reports.
+            pass_report = TimingReport(jobs=self.jobs)
+            pass_report.add(requested=len(specs), unique=len(unique),
+                            executed=len(executed), cache_hits=hits,
+                            wall_seconds=wall)
+            for spec in unique:
+                pass_report.record(results[spec])
+            self.tele.registry.merge(pass_report.registry.to_dict())
         return [results[spec] for spec in specs]
 
     # ------------------------------------------------------------------
@@ -306,8 +451,13 @@ class ExperimentRunner:
             stream_cache = self.stream_cache
             if stream_cache is None or stream_cache.instructions < budget:
                 stream_cache = StreamCache(budget)
-            for spec in group:
-                executed.append(execute_spec(spec, stream_cache))
+            with (self.tele.span("runner.group",
+                                 benchmark=group[0].benchmark,
+                                 points=len(group))
+                  if self.tele else nullcontext()):
+                for spec in group:
+                    executed.append(_execute_point(spec, stream_cache,
+                                                   self.profile_dir))
             self._announce(index, len(groups), group,
                            time.perf_counter() - group_started)
         return executed
@@ -316,13 +466,26 @@ class ExperimentRunner:
                       ) -> list[RunResult]:
         executed: list[RunResult] = []
         workers = min(self.jobs, len(groups))
+        traced = self.tele is not None or self.profile_dir is not None
+        context = self.tele.handoff() if self.tele else None
         with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = {pool.submit(_run_group, group): group
-                       for group in groups}
+            if traced:
+                futures = {pool.submit(_run_group_traced, group, context,
+                                       self.profile_dir): group
+                           for group in groups}
+            else:
+                futures = {pool.submit(_run_group, group): group
+                           for group in groups}
             done = 0
             for future in as_completed(futures):
                 group = futures[future]
-                results = future.result()
+                outcome = future.result()
+                if traced:
+                    results, harvest = outcome
+                    if self.tele:
+                        self.tele.absorb(harvest)
+                else:
+                    results = outcome
                 executed.extend(results)
                 done += 1
                 self._announce(done, len(groups), group,

@@ -1,0 +1,150 @@
+"""Merged host+sim Perfetto export.
+
+One ``trace.json`` carrying *both* time domains on separate track
+groups, so a slow sweep point on the host timeline can be visually
+correlated with what the simulated frontend was doing:
+
+* **host tracks** — one process group per OS pid that produced spans
+  (``host:main`` for the scheduler process, ``host:worker-<pid>`` for
+  pool workers), one thread track per OS thread, complete (``X``)
+  events in wall-clock microseconds rebased to the earliest span;
+* **sim tracks** — the cycle-domain payload from
+  :func:`repro.obs.perfetto.perfetto_trace`, its process names
+  prefixed ``sim:`` (1 cycle = 1 us, same units either way).
+
+Host pids are remapped to :data:`HOST_PID_BASE` + index so they can
+never collide with the sim's fixed pids 1-3; OS thread idents are
+remapped to small per-process ordinals for readable track names.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Iterable, Mapping, Sequence
+
+from repro.obs.perfetto import perfetto_trace, validate_chrome_trace
+
+#: First pid used for host-domain track groups (sim uses 1-3).
+HOST_PID_BASE = 100
+
+
+def host_perfetto_events(
+        spans: Sequence[Mapping[str, Any]]) -> list[dict[str, Any]]:
+    """Chrome trace events (metadata + ``X`` slices) for host spans."""
+    if not spans:
+        return []
+    records = sorted((dict(record) for record in spans),
+                     key=lambda r: (int(r["start_us"]), int(r["pid"]),
+                                    str(r["id"])))
+    base_us = min(int(record["start_us"]) for record in records)
+    main_pid = int(records[0]["pid"])
+    os_pids = sorted({int(record["pid"]) for record in records},
+                     key=lambda pid: (pid != main_pid, pid))
+    pid_map = {os_pid: HOST_PID_BASE + index
+               for index, os_pid in enumerate(os_pids)}
+    tid_map: dict[tuple[int, int], int] = {}
+    for record in records:
+        key = (int(record["pid"]), int(record["tid"]))
+        if key not in tid_map:
+            tid_map[key] = sum(1 for k in tid_map
+                               if k[0] == key[0]) + 1
+
+    events: list[dict[str, Any]] = []
+    for os_pid in os_pids:
+        name = ("host:main" if os_pid == main_pid
+                else f"host:worker-{os_pid}")
+        events.append({"ph": "M", "pid": pid_map[os_pid], "tid": 0,
+                       "ts": 0, "name": "process_name",
+                       "args": {"name": name}})
+    for (os_pid, os_tid), tid in sorted(tid_map.items()):
+        events.append({"ph": "M", "pid": pid_map[os_pid], "tid": tid,
+                       "ts": 0, "name": "thread_name",
+                       "args": {"name": f"thread-{tid}"}})
+    for record in records:
+        events.append({
+            "ph": "X", "cat": "host",
+            "pid": pid_map[int(record["pid"])],
+            "tid": tid_map[(int(record["pid"]), int(record["tid"]))],
+            "ts": int(record["start_us"]) - base_us,
+            "dur": max(int(record["dur_us"]), 0),
+            "name": str(record["name"]),
+            "args": dict(record.get("attrs") or {}),
+        })
+    return events
+
+
+def merged_perfetto_trace(spans: Sequence[Mapping[str, Any]],
+                          sim_events: Iterable[Mapping[str, Any]], *,
+                          label: str = "repro") -> dict[str, Any]:
+    """One Chrome trace payload holding host spans and sim events."""
+    sim = perfetto_trace(sim_events, label=label)
+    sim_trace_events: list[dict[str, Any]] = []
+    for event in sim["traceEvents"]:
+        event = dict(event)
+        if event.get("ph") == "M" and event.get("name") == "process_name":
+            args = dict(event.get("args") or {})
+            args["name"] = f"sim:{args.get('name')}"
+            event["args"] = args
+        sim_trace_events.append(event)
+    return {
+        "displayTimeUnit": "ms",
+        "otherData": {"producer": label,
+                      "time_unit": "host: us wall clock; "
+                                   "sim: 1 cycle = 1 us"},
+        "traceEvents": host_perfetto_events(spans) + sim_trace_events,
+    }
+
+
+def write_merged_perfetto(spans: Sequence[Mapping[str, Any]],
+                          sim_events: Iterable[Mapping[str, Any]],
+                          path: str | Path, *,
+                          label: str = "repro") -> Path:
+    """Write the merged ``trace.json``; returns the path."""
+    target = Path(path)
+    payload = merged_perfetto_trace(spans, sim_events, label=label)
+    target.write_text(json.dumps(payload, sort_keys=True) + "\n",
+                      encoding="utf-8")
+    return target
+
+
+def validate_merged_trace(payload: Mapping[str, Any]) -> list[str]:
+    """The PR 4 structural validator, extended to two track domains.
+
+    On top of :func:`~repro.obs.perfetto.validate_chrome_trace`, a
+    merged file must carry at least one ``host:``-named process group
+    (with every host event's pid at/above :data:`HOST_PID_BASE`) and
+    at least one ``sim:``-named process group below it.
+    """
+    problems = validate_chrome_trace(payload)
+    events = payload.get("traceEvents")
+    if not isinstance(events, list):
+        return problems
+    host_pids: set[int] = set()
+    sim_pids: set[int] = set()
+    for event in events:
+        if not isinstance(event, dict) or event.get("ph") != "M" \
+                or event.get("name") != "process_name":
+            continue
+        name = str((event.get("args") or {}).get("name", ""))
+        pid = event.get("pid")
+        if not isinstance(pid, int):
+            continue
+        if name.startswith("host:"):
+            host_pids.add(pid)
+            if pid < HOST_PID_BASE:
+                problems.append(f"host process {name!r} has pid {pid} "
+                                f"below HOST_PID_BASE")
+        elif name.startswith("sim:"):
+            sim_pids.add(pid)
+            if pid >= HOST_PID_BASE:
+                problems.append(f"sim process {name!r} has pid {pid} "
+                                f"inside the host pid range")
+    if not host_pids:
+        problems.append("no host-domain track group (host:* process)")
+    if not sim_pids:
+        problems.append("no sim-domain track group (sim:* process)")
+    if host_pids & sim_pids:
+        problems.append(f"pid collision between domains: "
+                        f"{sorted(host_pids & sim_pids)}")
+    return problems

@@ -1,0 +1,333 @@
+"""Process-wide metrics registry: counters, gauges, histograms.
+
+The host-domain counterpart of :mod:`repro.obs.metrics`.  Where the
+cycle-domain collector buckets by simulated interval, this registry
+accumulates over a process's lifetime and exports two deterministic
+forms: OpenMetrics text (:meth:`MetricsRegistry.to_openmetrics`) and
+canonical sorted-keys JSON (:meth:`MetricsRegistry.to_json`).
+
+Determinism rules, matching the rest of the repo's artifact policy:
+
+* histogram bucket boundaries are fixed at metric-creation time (the
+  default :data:`DEFAULT_SECONDS_BUCKETS` never changes shape between
+  runs), so two runs of the same workload expose identical series;
+* families sort by name, samples by label items, labels by key — the
+  byte output depends only on what was recorded, not on call order;
+* worker registries merge additively into the parent's
+  (:meth:`MetricsRegistry.merge`), mirroring how the scheduler folds
+  worker results back in spec order.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from bisect import bisect_left
+from typing import Any, Iterable, Mapping, Optional, Union
+
+#: Bump when the exported JSON layout changes incompatibly.
+METRICS_SCHEMA = 1
+
+#: Fixed wall-clock histogram boundaries (seconds).  Chosen to span
+#: cache probes (~1ms) through full-benchmark sweeps (~minutes).
+DEFAULT_SECONDS_BUCKETS: tuple[float, ...] = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25,
+    0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0,
+)
+
+LabelItems = tuple[tuple[str, str], ...]
+
+
+def _label_key(labels: Optional[Mapping[str, str]]) -> LabelItems:
+    if not labels:
+        return ()
+    return tuple(sorted((str(key), str(value))
+                        for key, value in labels.items()))
+
+
+def _escape(value: str) -> str:
+    return (value.replace("\\", "\\\\").replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
+def _render_labels(items: LabelItems,
+                   extra: Optional[tuple[str, str]] = None) -> str:
+    pairs = list(items)
+    if extra is not None:
+        pairs.append(extra)
+    if not pairs:
+        return ""
+    body = ",".join(f'{key}="{_escape(value)}"' for key, value in pairs)
+    return "{" + body + "}"
+
+
+def _render_value(value: Union[int, float]) -> str:
+    if isinstance(value, int):
+        return str(value)
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(value)
+
+
+class Counter:
+    """Monotonically increasing count (int or float)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value: Union[int, float] = 0
+
+    def add(self, amount: Union[int, float] = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only increase")
+        self.value += amount
+
+
+class Gauge:
+    """Point-in-time value (set or adjusted)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value: Union[int, float] = 0
+
+    def set(self, value: Union[int, float]) -> None:
+        self.value = value
+
+    def add(self, amount: Union[int, float] = 1) -> None:
+        self.value += amount
+
+
+class Histogram:
+    """Fixed-boundary histogram (last implicit bucket is ``+Inf``)."""
+
+    __slots__ = ("boundaries", "bucket_counts", "total", "count")
+
+    def __init__(self, boundaries: Iterable[float] =
+                 DEFAULT_SECONDS_BUCKETS) -> None:
+        bounds = tuple(float(b) for b in boundaries)
+        if not bounds or list(bounds) != sorted(set(bounds)):
+            raise ValueError(
+                "histogram boundaries must be strictly increasing")
+        self.boundaries = bounds
+        self.bucket_counts = [0] * (len(bounds) + 1)
+        self.total = 0.0
+        self.count = 0
+
+    def observe(self, value: Union[int, float]) -> None:
+        self.bucket_counts[bisect_left(self.boundaries, value)] += 1
+        self.total += float(value)
+        self.count += 1
+
+    def merge_counts(self, bucket_counts: Iterable[int],
+                     total: float, count: int) -> None:
+        counts = list(bucket_counts)
+        if len(counts) != len(self.bucket_counts):
+            raise ValueError("histogram boundary mismatch on merge")
+        for index, extra in enumerate(counts):
+            self.bucket_counts[index] += int(extra)
+        self.total += float(total)
+        self.count += int(count)
+
+
+Metric = Union[Counter, Gauge, Histogram]
+
+
+class _Family:
+    """One named metric family: a kind plus its labelled children."""
+
+    __slots__ = ("name", "kind", "help", "boundaries", "children")
+
+    def __init__(self, name: str, kind: str, help_text: str,
+                 boundaries: Optional[tuple[float, ...]] = None) -> None:
+        self.name = name
+        self.kind = kind
+        self.help = help_text
+        self.boundaries = boundaries
+        self.children: dict[LabelItems, Metric] = {}
+
+    def child(self, key: LabelItems) -> Metric:
+        metric = self.children.get(key)
+        if metric is None:
+            if self.kind == "counter":
+                metric = Counter()
+            elif self.kind == "gauge":
+                metric = Gauge()
+            else:
+                metric = Histogram(self.boundaries
+                                   or DEFAULT_SECONDS_BUCKETS)
+            self.children[key] = metric
+        return metric
+
+
+class MetricsRegistry:
+    """Create-on-first-use registry of named metric families."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._families: dict[str, _Family] = {}
+
+    # ------------------------------------------------------------------
+    def _family(self, name: str, kind: str, help_text: str,
+                boundaries: Optional[tuple[float, ...]] = None) -> _Family:
+        with self._lock:
+            family = self._families.get(name)
+            if family is None:
+                family = _Family(name, kind, help_text, boundaries)
+                self._families[name] = family
+            elif family.kind != kind:
+                raise ValueError(
+                    f"metric {name!r} already registered as "
+                    f"{family.kind}, not {kind}")
+            return family
+
+    def counter(self, name: str,
+                labels: Optional[Mapping[str, str]] = None, *,
+                help: str = "") -> Counter:
+        family = self._family(name, "counter", help)
+        with self._lock:
+            metric = family.child(_label_key(labels))
+        assert isinstance(metric, Counter)
+        return metric
+
+    def gauge(self, name: str,
+              labels: Optional[Mapping[str, str]] = None, *,
+              help: str = "") -> Gauge:
+        family = self._family(name, "gauge", help)
+        with self._lock:
+            metric = family.child(_label_key(labels))
+        assert isinstance(metric, Gauge)
+        return metric
+
+    def histogram(self, name: str,
+                  labels: Optional[Mapping[str, str]] = None, *,
+                  boundaries: Iterable[float] = DEFAULT_SECONDS_BUCKETS,
+                  help: str = "") -> Histogram:
+        family = self._family(name, "histogram", help,
+                              tuple(float(b) for b in boundaries))
+        with self._lock:
+            metric = family.child(_label_key(labels))
+        assert isinstance(metric, Histogram)
+        return metric
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        """Canonical JSON-ready payload (families and samples sorted)."""
+        metrics: list[dict[str, Any]] = []
+        for name in sorted(self._families):
+            family = self._families[name]
+            samples: list[dict[str, Any]] = []
+            for key in sorted(family.children):
+                metric = family.children[key]
+                sample: dict[str, Any] = {"labels": dict(key)}
+                if isinstance(metric, Histogram):
+                    sample["buckets"] = list(metric.bucket_counts)
+                    sample["sum"] = round(metric.total, 9)
+                    sample["count"] = metric.count
+                else:
+                    sample["value"] = metric.value
+                samples.append(sample)
+            entry: dict[str, Any] = {"name": family.name,
+                                     "type": family.kind,
+                                     "help": family.help,
+                                     "samples": samples}
+            if family.kind == "histogram":
+                entry["boundaries"] = list(family.boundaries
+                                           or DEFAULT_SECONDS_BUCKETS)
+            metrics.append(entry)
+        return {"schema": METRICS_SCHEMA, "metrics": metrics}
+
+    def to_json(self) -> str:
+        """Canonical sorted-keys JSON text."""
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"
+
+    def to_openmetrics(self) -> str:
+        """OpenMetrics text exposition (deterministic byte output)."""
+        lines: list[str] = []
+        for name in sorted(self._families):
+            family = self._families[name]
+            if family.help:
+                lines.append(f"# HELP {family.name} "
+                             f"{_escape(family.help)}")
+            lines.append(f"# TYPE {family.name} {family.kind}")
+            for key in sorted(family.children):
+                metric = family.children[key]
+                if isinstance(metric, Histogram):
+                    cumulative = 0
+                    for bound, bucket in zip(metric.boundaries,
+                                             metric.bucket_counts):
+                        cumulative += bucket
+                        labels = _render_labels(
+                            key, ("le", _render_value(bound)))
+                        lines.append(f"{family.name}_bucket{labels} "
+                                     f"{cumulative}")
+                    labels = _render_labels(key, ("le", "+Inf"))
+                    lines.append(f"{family.name}_bucket{labels} "
+                                 f"{metric.count}")
+                    base = _render_labels(key)
+                    lines.append(f"{family.name}_sum{base} "
+                                 f"{_render_value(round(metric.total, 9))}")
+                    lines.append(f"{family.name}_count{base} "
+                                 f"{metric.count}")
+                else:
+                    suffix = "_total" if family.kind == "counter" else ""
+                    labels = _render_labels(key)
+                    lines.append(f"{family.name}{suffix}{labels} "
+                                 f"{_render_value(metric.value)}")
+        lines.append("# EOF")
+        return "\n".join(lines) + "\n"
+
+    # ------------------------------------------------------------------
+    def merge(self, dump: Mapping[str, Any]) -> None:
+        """Fold a :meth:`to_dict` payload (a worker's registry) in.
+
+        Counters and histograms add; gauges take the incoming value
+        (last writer wins, matching completion order).
+        """
+        for entry in dump.get("metrics", []):
+            name = str(entry["name"])
+            kind = str(entry["type"])
+            help_text = str(entry.get("help", ""))
+            for sample in entry.get("samples", []):
+                labels = {str(k): str(v)
+                          for k, v in (sample.get("labels") or {}).items()}
+                if kind == "counter":
+                    self.counter(name, labels,
+                                 help=help_text).add(sample["value"])
+                elif kind == "gauge":
+                    self.gauge(name, labels,
+                               help=help_text).set(sample["value"])
+                elif kind == "histogram":
+                    boundaries = tuple(
+                        float(b) for b in
+                        entry.get("boundaries", DEFAULT_SECONDS_BUCKETS))
+                    histogram = self.histogram(name, labels,
+                                               boundaries=boundaries,
+                                               help=help_text)
+                    histogram.merge_counts(sample["buckets"],
+                                           sample["sum"],
+                                           sample["count"])
+                else:
+                    raise ValueError(f"unknown metric type {kind!r}")
+
+    @classmethod
+    def from_dict(cls, dump: Mapping[str, Any]) -> "MetricsRegistry":
+        registry = cls()
+        registry.merge(dump)
+        return registry
+
+
+def format_metrics(dump: Mapping[str, Any]) -> str:
+    """One-line-per-sample plain-text rendering of a registry dump."""
+    lines: list[str] = []
+    for entry in dump.get("metrics", []):
+        name = entry["name"]
+        for sample in entry.get("samples", []):
+            labels = _render_labels(_label_key(sample.get("labels")))
+            if entry["type"] == "histogram":
+                lines.append(f"{name}{labels} count={sample['count']} "
+                             f"sum={sample['sum']}")
+            else:
+                lines.append(f"{name}{labels} = "
+                             f"{_render_value(sample['value'])}")
+    return "\n".join(lines)

@@ -1,0 +1,203 @@
+"""Zero-dependency wall-clock span tracer.
+
+The host-domain counterpart of :class:`repro.obs.events.ObsBus`: where
+the bus stamps *cycles*, the tracer stamps *wall-clock microseconds*,
+so the harness that runs the simulator (scheduler, result cache,
+workload generation, CLI commands) becomes observable in the same
+queryable, plain-dict form as the simulated machine.
+
+Span records are plain dicts with a stable shape — they must survive
+pickling across the :class:`~concurrent.futures.ProcessPoolExecutor`
+boundary and JSON round-trips::
+
+    {"name": str, "id": "<pid>-<seq>", "parent": "<pid>-<seq>" | None,
+     "pid": int, "tid": int, "start_us": int, "dur_us": int,
+     "attrs": {str: scalar}}
+
+Nesting is tracked per thread (a :class:`threading.local` stack);
+cross-thread and cross-process parentage is explicit: the submitting
+side captures :meth:`SpanTracer.current_context` and the worker side
+passes it to a fresh tracer, whose root spans then parent under the
+submitting span.  Start times use ``time.time_ns()`` (one wall-clock
+anchor shared by all processes on the host); durations use
+``time.perf_counter_ns()`` so they are monotonic.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from contextlib import contextmanager
+from typing import Any, Iterable, Iterator, Mapping, Optional, Sequence
+
+#: Bump when the span record shape changes incompatibly.
+SPAN_SCHEMA = 1
+
+_SCALARS = (str, int, float, bool, type(None))
+
+
+def _clean_attrs(attrs: Mapping[str, Any]) -> dict[str, Any]:
+    """Attrs coerced to JSON-safe scalars (never raises at the span site)."""
+    return {key: (value if isinstance(value, _SCALARS) else str(value))
+            for key, value in attrs.items()}
+
+
+# The id sequence is process-global, not per-tracer: a pool worker gets
+# a fresh tracer per group task (``activate_worker`` replaces the
+# session to avoid double counting), and per-tracer counters would
+# restart at 0 each time, so "<pid>-<seq>" ids from different groups in
+# the same worker would collide and cross-link span trees.
+_seq_lock = threading.Lock()
+_seq = 0
+
+
+def _next_seq() -> int:
+    global _seq
+    with _seq_lock:
+        _seq += 1
+        return _seq
+
+
+class SpanTracer:
+    """Collects finished spans for one process.
+
+    ``context`` — a :meth:`current_context` payload from another
+    thread or process — makes this tracer's root spans children of the
+    context's active span, stitching worker timelines under the
+    submitting batch span.
+    """
+
+    def __init__(self,
+                 context: Optional[Mapping[str, Any]] = None) -> None:
+        self.pid = os.getpid()
+        self.finished: list[dict[str, Any]] = []
+        self._local = threading.local()
+        parent = context.get("span") if context else None
+        self._root_parent: Optional[str] = (str(parent) if parent
+                                            else None)
+
+    # ------------------------------------------------------------------
+    def _stack(self) -> list[str]:
+        stack: Optional[list[str]] = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def current_context(self) -> dict[str, Any]:
+        """Handoff payload for another thread or process.
+
+        Whatever side receives it (``SpanTracer(context=...)`` or
+        ``span(..., context=...)``) parents under this thread's
+        innermost open span.
+        """
+        stack = self._stack()
+        active = stack[-1] if stack else self._root_parent
+        return {"schema": SPAN_SCHEMA, "span": active, "pid": self.pid}
+
+    # ------------------------------------------------------------------
+    @contextmanager
+    def span(self, name: str, *,
+             context: Optional[Mapping[str, Any]] = None,
+             **attrs: Any) -> Iterator[dict[str, Any]]:
+        """Open a span; yields the live record (mutate ``attrs`` freely).
+
+        Parentage: an explicit ``context`` wins (cross-thread /
+        cross-process), else the innermost open span on this thread,
+        else the tracer's root parent.
+        """
+        span_id = f"{self.pid}-{_next_seq()}"
+        stack = self._stack()
+        if context is not None:
+            raw_parent = context.get("span")
+            parent = str(raw_parent) if raw_parent else None
+        elif stack:
+            parent = stack[-1]
+        else:
+            parent = self._root_parent
+        record: dict[str, Any] = {
+            "name": name,
+            "id": span_id,
+            "parent": parent,
+            "pid": self.pid,
+            "tid": threading.get_ident(),
+            "start_us": time.time_ns() // 1_000,
+            "dur_us": 0,
+            "attrs": _clean_attrs(attrs),
+        }
+        started = time.perf_counter_ns()
+        stack.append(span_id)
+        try:
+            yield record
+        finally:
+            stack.pop()
+            record["dur_us"] = max(
+                (time.perf_counter_ns() - started) // 1_000, 0)
+            record["attrs"] = _clean_attrs(record["attrs"])
+            self.finished.append(record)
+
+    # ------------------------------------------------------------------
+    def adopt(self, spans: Iterable[Mapping[str, Any]]) -> int:
+        """Fold spans harvested from another tracer (a pool worker)
+        into this one; returns the number adopted."""
+        adopted = 0
+        for record in spans:
+            self.finished.append(dict(record))
+            adopted += 1
+        return adopted
+
+    def spans(self) -> list[dict[str, Any]]:
+        """Start-ordered copies of every finished span."""
+        return sorted((dict(record) for record in self.finished),
+                      key=lambda r: (int(r["start_us"]), int(r["pid"]),
+                                     str(r["id"])))
+
+
+# ----------------------------------------------------------------------
+# Rendering (``repro telemetry``)
+# ----------------------------------------------------------------------
+def format_span_tree(spans: Sequence[Mapping[str, Any]], *,
+                     collapse_after: int = 4) -> str:
+    """Indented text tree of a span list.
+
+    Sibling *leaf* spans sharing a name collapse to one ``name xN``
+    line once the group exceeds ``collapse_after`` — a 160-point sweep
+    reads as one line per stage, not 160.  Spans whose parent is not
+    in the list (a worker batch viewed alone) render as roots.
+    """
+    records = [dict(record) for record in spans]
+    records.sort(key=lambda r: (int(r["start_us"]), str(r["id"])))
+    ids = {str(record["id"]) for record in records}
+    children: dict[Optional[str], list[dict[str, Any]]] = {}
+    for record in records:
+        parent = record.get("parent")
+        key = str(parent) if parent is not None and str(parent) in ids \
+            else None
+        children.setdefault(key, []).append(record)
+    lines: list[str] = []
+
+    def emit(parent_key: Optional[str], depth: int) -> None:
+        siblings = children.get(parent_key, [])
+        groups: dict[str, list[dict[str, Any]]] = {}
+        for record in siblings:
+            groups.setdefault(str(record["name"]), []).append(record)
+        for record in siblings:
+            name = str(record["name"])
+            group = groups[name]
+            has_children = any(str(g["id"]) in children for g in group)
+            if len(group) > collapse_after and not has_children:
+                if record is group[0]:
+                    total = sum(int(g["dur_us"]) for g in group)
+                    lines.append(f"{'  ' * depth}{name} x{len(group)}  "
+                                 f"{total / 1e6:.3f}s")
+                continue
+            attrs = record.get("attrs") or {}
+            suffix = "".join(f" {key}={attrs[key]}"
+                             for key in sorted(attrs))
+            lines.append(f"{'  ' * depth}{name}  "
+                         f"{int(record['dur_us']) / 1e6:.3f}s{suffix}")
+            emit(str(record["id"]), depth + 1)
+
+    emit(None, 0)
+    return "\n".join(lines)

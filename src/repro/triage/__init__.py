@@ -30,6 +30,7 @@ from repro.triage.differ import (
     diff_runs,
     diff_specs,
     first_divergent_bucket,
+    host_evidence,
     load_capture,
 )
 from repro.triage.hypotheses import Hypothesis, rank_hypotheses
@@ -45,6 +46,7 @@ __all__ = [
     "diff_runs",
     "diff_specs",
     "first_divergent_bucket",
+    "host_evidence",
     "load_capture",
     "rank_hypotheses",
     "render_report",

@@ -30,6 +30,7 @@ in the loop.
 from __future__ import annotations
 
 import json
+from contextlib import AbstractContextManager, nullcontext
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Mapping, Optional
@@ -103,14 +104,47 @@ def capture_spec(spec: ExperimentSpec, *,
                  bucket_cycles: int = DEFAULT_BUCKET_CYCLES) -> RunCapture:
     """Execute ``spec`` observed and package the capture."""
     from repro.obs import run_observed
+    from repro.telemetry.session import current_telemetry
 
-    observed = run_observed(spec, bucket_cycles=bucket_cycles)
+    tele = current_telemetry()
+    context: AbstractContextManager[Any] = (
+        tele.span("triage.capture", label=spec.label,
+                  bucket_cycles=bucket_cycles)
+        if tele else nullcontext())
+    with context:
+        observed = run_observed(spec, bucket_cycles=bucket_cycles)
     assert observed.metrics is not None
     return RunCapture(label=spec.label, bucket_cycles=bucket_cycles,
                       intervals=observed.metrics.interval_rows(),
                       events=observed.events,
                       summary=dict(observed.result.metrics),
                       spec=spec.to_dict())
+
+
+def host_evidence() -> list[dict[str, Any]]:
+    """Wall-clock span evidence for the diff's cost accounting.
+
+    When a telemetry session is active, the differ's ``DiffResult``
+    carries the host-domain spans relevant to triage work —
+    ``triage.*`` captures, ``cache.*`` lookups, ``runner.*`` passes —
+    so a hypothesis reader can see *what the diff paid for* (cache
+    short-circuit vs observed re-execution) alongside the cycle-domain
+    findings.  Returns ``[]`` with telemetry off: evidence is strictly
+    additive and never changes diff verdicts.
+    """
+    from repro.telemetry.session import current_telemetry
+
+    tele = current_telemetry()
+    if tele is None:
+        return []
+    rows: list[dict[str, Any]] = []
+    for record in tele.tracer.spans():
+        name = str(record.get("name", ""))
+        if name.startswith(("triage.", "cache.", "runner.")):
+            rows.append({"name": name,
+                         "dur_us": record.get("dur_us"),
+                         "attrs": dict(record.get("attrs", {}))})
+    return rows
 
 
 def _spec_of(payload: Mapping[str, Any]) -> Optional[ExperimentSpec]:
@@ -234,6 +268,9 @@ class DiffResult:
     #: Observed executions this diff paid for (0 = fully served from
     #: captures / the result cache).
     executed: int = 0
+    #: Host-domain span evidence (:func:`host_evidence` rows) — empty
+    #: when no telemetry session was active during the diff.
+    host: list[dict[str, Any]] = field(default_factory=list)
 
     def to_dict(self) -> dict[str, Any]:
         return {
@@ -251,6 +288,7 @@ class DiffResult:
             "summary_deltas": {name: list(pair) for name, pair
                                in self.summary_deltas.items()},
             "executed": self.executed,
+            "host": self.host,
         }
 
     def format(self) -> str:
@@ -289,6 +327,14 @@ class DiffResult:
             lines.extend(
                 f"  {name}: {pair[0]!r} -> {pair[1]!r}"
                 for name, pair in sorted(self.summary_deltas.items()))
+        if self.host:
+            lines.append("host-span evidence (wall-clock):")
+            for row in self.host:
+                attrs = row.get("attrs") or {}
+                detail = " ".join(f"{key}={attrs[key]}"
+                                  for key in sorted(attrs))
+                lines.append(f"  {row.get('name')}  "
+                             f"{row.get('dur_us')}us  {detail}".rstrip())
         return "\n".join(lines)
 
 
@@ -369,12 +415,13 @@ def diff_specs(spec_a: ExperimentSpec, spec_b: ExperimentSpec, *,
         if result_a.metrics == result_b.metrics:
             return DiffResult(label_a=spec_a.label, label_b=spec_b.label,
                               identical=True, bucket_cycles=bucket_cycles,
-                              executed=executed)
+                              executed=executed, host=host_evidence())
     else:
         executed = 0
     result = diff_runs(capture_spec(spec_a, bucket_cycles=bucket_cycles),
                        capture_spec(spec_b, bucket_cycles=bucket_cycles))
     result.executed = executed + 2
+    result.host = host_evidence()
     return result
 
 
@@ -404,4 +451,6 @@ def diff_paths(path_a: str | Path, path_b: str | Path, *,
                               bucket_cycles=bucket_cycles)
     capture_a = load_capture(path_a, bucket_cycles=bucket_cycles)
     capture_b = load_capture(path_b, bucket_cycles=bucket_cycles)
-    return diff_runs(capture_a, capture_b)
+    result = diff_runs(capture_a, capture_b)
+    result.host = host_evidence()
+    return result

@@ -456,6 +456,30 @@ def _bench_section(paths: Sequence[Path]) -> str:
     return "".join(blocks)
 
 
+def _trajectory_section(paths: Sequence[Path]) -> str:
+    """Committed ``BENCH_trajectory.jsonl`` rows as a wall-time chart.
+
+    Each JSONL row carries ``sections.<name>.current_seconds`` — the
+    same shape :func:`_bench_trajectory_svg` plots for report files —
+    so trajectory rows become pseudo-reports labelled by commit.
+    """
+    from repro.runner import read_trajectory
+
+    blocks = ["<h2>Bench trajectory</h2>"]
+    for path in paths:
+        rows = read_trajectory(path)
+        blocks.append('<div class="card">')
+        blocks.append(f"<h3>{_esc(path.name)} ({len(rows)} run(s))</h3>")
+        if len(rows) < 2:
+            blocks.append('<p class="note">(need at least two recorded '
+                          "runs for a trajectory)</p>")
+        else:
+            reports = [(str(row.get("commit", "?")), row) for row in rows]
+            blocks.append(_bench_trajectory_svg(reports))
+        blocks.append("</div>")
+    return "".join(blocks)
+
+
 def _traces_section(paths: Sequence[Path]) -> str:
     items = []
     for path in paths:
@@ -472,24 +496,32 @@ def _traces_section(paths: Sequence[Path]) -> str:
 def render_report(*, metrics: Sequence[str | Path] = (),
                   bench: Sequence[str | Path] = (),
                   traces: Sequence[str | Path] = (),
+                  trajectory: Sequence[str | Path] = (),
                   title: str = "repro triage report") -> str:
     """The dashboard HTML for a run set (one self-contained string)."""
     metrics_paths = [Path(p) for p in metrics]
     bench_paths = [Path(p) for p in bench]
     trace_paths = [Path(p) for p in traces]
-    if not (metrics_paths or bench_paths or trace_paths):
+    trajectory_paths = [Path(p) for p in trajectory]
+    if not (metrics_paths or bench_paths or trace_paths
+            or trajectory_paths):
         raise ValueError("nothing to report: give at least one "
-                         "metrics.jsonl, bench report, or trace")
+                         "metrics.jsonl, bench report, trajectory, "
+                         "or trace")
     sections = []
     if metrics_paths:
         sections.append(_metrics_section(metrics_paths))
     if bench_paths:
         sections.append(_bench_section(bench_paths))
+    if trajectory_paths:
+        sections.append(_trajectory_section(trajectory_paths))
     if trace_paths:
         sections.append(_traces_section(trace_paths))
     counts = ", ".join(part for part in (
         f"{len(metrics_paths)} metrics file(s)" if metrics_paths else "",
         f"{len(bench_paths)} bench report(s)" if bench_paths else "",
+        f"{len(trajectory_paths)} trajectory file(s)"
+        if trajectory_paths else "",
         f"{len(trace_paths)} trace(s)" if trace_paths else "") if part)
     return (
         "<!doctype html>\n"
@@ -509,11 +541,12 @@ def write_report(path: str | Path, *,
                  metrics: Sequence[str | Path] = (),
                  bench: Sequence[str | Path] = (),
                  traces: Sequence[str | Path] = (),
+                 trajectory: Sequence[str | Path] = (),
                  title: Optional[str] = None) -> Path:
     """Render and write the dashboard; returns the output path."""
     target = Path(path)
     kwargs: dict[str, Any] = {"metrics": metrics, "bench": bench,
-                              "traces": traces}
+                              "traces": traces, "trajectory": trajectory}
     if title is not None:
         kwargs["title"] = title
     target.write_text(render_report(**kwargs))

@@ -38,3 +38,13 @@ class TestSurface:
                      "compare_from_results", "format_compare",
                      "rows_to_dicts", "CompareRow", "COMPARE_PB_SIZES"):
             assert name in api.__all__, name
+
+    def test_telemetry_names_exported(self):
+        for name in ("Telemetry", "SpanTracer", "MetricsRegistry",
+                     "enable_telemetry", "disable_telemetry",
+                     "telemetry_session", "current_telemetry", "span",
+                     "format_span_tree", "merged_perfetto_trace",
+                     "validate_merged_trace", "write_merged_perfetto",
+                     "hotspot_rows", "append_trajectory",
+                     "read_trajectory", "trajectory_reference"):
+            assert name in api.__all__, name

@@ -415,7 +415,7 @@ class TestBenchCheckCLI:
             {"mode": "quick",
              "sections": {"figure5": {"current_seconds": 10.0}}}))
         script = tmp_path / "repro.py"
-        assert main(["bench", "--quick",
+        assert main(["bench", "--quick", "--no-trajectory",
                      "--output", str(tmp_path / "bench.json"),
                      "--check", str(reference),
                      "--repro-script", str(script)]) == 1
@@ -441,7 +441,7 @@ class TestBenchCheckCLI:
         reference = tmp_path / "ref.json"
         reference.write_text(json.dumps({"mode": "full", "sections": {}}))
         script = tmp_path / "repro.py"
-        assert main(["bench", "--quick",
+        assert main(["bench", "--quick", "--no-trajectory",
                      "--output", str(tmp_path / "bench.json"),
                      "--check", str(reference),
                      "--repro-script", str(script)]) == 1
