@@ -173,13 +173,20 @@ def compare_sweep(benchmarks: Sequence[str],
                   jobs: int = 1,
                   result_cache: Optional[ResultCache] = None,
                   stream_cache: Optional[StreamCache] = None,
-                  progress: Any = None) -> list[CompareRow]:
-    """Run the full head-to-head comparison across ``benchmarks``."""
+                  progress: Any = None,
+                  simulator: str = "scalar") -> list[CompareRow]:
+    """Run the full head-to-head comparison across ``benchmarks``.
+
+    ``simulator`` selects the frontend kernel for every point; the
+    rows are kernel-independent (the kernels are result-identical).
+    """
     pb_sizes = tuple(pb_sizes)
     specs: list[ExperimentSpec] = []
     for benchmark in benchmarks:
         specs.extend(compare_specs(benchmark, mechanisms, tc_entries,
                                    pb_sizes, instructions))
+    if simulator != "scalar":
+        specs = [spec.replace(simulator=simulator) for spec in specs]
     results = sweep(specs, jobs=jobs, cache=result_cache,
                     stream_cache=stream_cache, progress=progress)
     return compare_from_results(results)

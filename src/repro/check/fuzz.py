@@ -44,20 +44,25 @@ STATIC_SEED_PROB = 0.25
 
 def fuzz_case_spec(case_seed: int,
                    instructions: int = DEFAULT_CHECK_INSTRUCTIONS,
-                   ) -> ExperimentSpec:
+                   simulator: Optional[str] = None) -> ExperimentSpec:
     """The deterministic check spec for fuzz case ``case_seed``.
 
-    The frontend mechanism is drawn from the seed like every other
-    sizing knob, so a fuzz sweep exercises the whole competing-frontend
-    zoo through the same oracle catalogue.  The draw comes *after* the
-    pre-existing ones so the tc/pb/static_seed sampled for a given seed
-    are unchanged across the schema bump.
+    The frontend mechanism and the simulation kernel are drawn from the
+    seed like every other sizing knob, so a fuzz sweep exercises the
+    whole competing-frontend zoo — and both kernels — through the same
+    oracle catalogue.  Each draw comes *after* the pre-existing ones so
+    the knobs sampled for a given seed are unchanged across schema
+    bumps.  ``simulator`` forces one kernel instead of drawing
+    (``repro fuzz --simulator``).
     """
+    from repro.runner.spec import SIMULATOR_KINDS
+
     rng = random.Random((case_seed << 1) ^ _CONFIG_SALT)
     tc_entries = rng.choice(TC_CHOICES)
     pb_entries = rng.choice(PB_CHOICES)
     static_seed = rng.random() < STATIC_SEED_PROB
     mechanism = rng.choice(mechanism_names())
+    drawn_simulator = rng.choice(SIMULATOR_KINDS)
     return ExperimentSpec(
         benchmark=f"{FUZZ_PREFIX}{case_seed}",
         tc_entries=tc_entries,
@@ -65,7 +70,8 @@ def fuzz_case_spec(case_seed: int,
         static_seed=static_seed,
         mechanism=mechanism,
         kind="check",
-        instructions=instructions)
+        instructions=instructions,
+        simulator=simulator if simulator is not None else drawn_simulator)
 
 
 @dataclass
@@ -172,7 +178,8 @@ def run_fuzz(seeds: int,
              cache: Optional[ResultCache] = None,
              progress=None,
              minimize: bool = True,
-             failures_dir: Optional[str | Path] = None) -> FuzzReport:
+             failures_dir: Optional[str | Path] = None,
+             simulator: Optional[str] = None) -> FuzzReport:
     """Fuzz ``seeds`` cases starting at ``seed_base``.
 
     Verdicts flow through the parallel :class:`ExperimentRunner` and,
@@ -180,6 +187,8 @@ def run_fuzz(seeds: int,
     Failing cases are minimized (unless ``minimize=False``) against the
     requested oracle subset; with ``failures_dir`` each minimized case
     also writes a self-contained ``repro_fuzz_<seed>.py`` script.
+    ``simulator`` forces every case onto one kernel; by default each
+    case draws its kernel from its seed.
     """
     if seeds < 1:
         raise ValueError("seeds must be >= 1")
@@ -187,7 +196,7 @@ def run_fuzz(seeds: int,
     report = FuzzReport(seeds=seeds, seed_base=seed_base,
                         instructions=instructions, oracles=selected)
 
-    specs = [fuzz_case_spec(seed_base + i, instructions)
+    specs = [fuzz_case_spec(seed_base + i, instructions, simulator)
              for i in range(seeds)]
     runner = ExperimentRunner(jobs=jobs, cache=cache, progress=progress)
     results = runner.run(specs)
@@ -213,7 +222,7 @@ def run_fuzz(seeds: int,
                 fuzz_profile(case_seed), spec.instructions,
                 tc_entries=spec.tc_entries, pb_entries=spec.pb_entries,
                 static_seed=spec.static_seed, mechanism=spec.mechanism,
-                oracles=selected)
+                simulator=spec.simulator, oracles=selected)
             if failure.minimized is not None and out_dir is not None:
                 out_dir.mkdir(parents=True, exist_ok=True)
                 script = out_dir / f"repro_fuzz_{case_seed}.py"

@@ -294,10 +294,15 @@ class PreconstructionEngine:
                 if needs_fetch and port_budget <= 0:
                     continue  # stalled on the I-cache port
                 result = constructor.step(needs_fetch)
-                decode_budget -= result.decode_cost
-                port_budget -= result.port_cost
-                decode_steps += result.decode_cost
-                port_used += result.port_cost
+                # Every step costs exactly one decode slot
+                # (StepResult.decode_cost is invariantly 1); only fetch
+                # steps touch the port, so skip the arithmetic otherwise.
+                decode_budget -= 1
+                decode_steps += 1
+                port_cost = result.port_cost
+                if port_cost:
+                    port_budget -= port_cost
+                    port_used += port_cost
                 if result.notable or region.state is not active_state:
                     handle(constructor, result)
                     needs_schedule = True

@@ -125,6 +125,10 @@ class TraceConstructor:
         # result before the next step, and allocating ~1 per walked
         # instruction showed up in profiles.
         self._result = StepResult()
+        # The all-quiet result shared by every plain step (no port use,
+        # nothing completed) — the overwhelmingly common case, returned
+        # without touching any field.  Never mutated.
+        self._plain = StepResult()
         # Call-stack state *after* each buffered entry, aligned with the
         # builder's buffer; needed to restart correctly after truncation.
         self._entry_stacks: list[tuple[int, ...]] = []
@@ -196,11 +200,12 @@ class TraceConstructor:
             self._pc = None
             return self._backtrack_or_finish()
 
-        result = self._fresh_result()
+        result: Optional[StepResult] = None
 
         # Fetch through the prefetch cache; a fresh line uses the port.
         if (needs_fetch if needs_fetch is not None
                 else not region.prefetch_cache.contains(pc)):
+            result = self._fresh_result()
             if not region.prefetch_cache.add_line(pc):
                 self._reset_buffer()
                 self._pc = None
@@ -219,16 +224,20 @@ class TraceConstructor:
         if inst is None or inst.kind is Kind.HALT:
             self._reset_buffer()
             self._pc = None
-            return result
+            return result if result is not None else self._plain
 
         taken, next_pc, path_ends = self._advance(pc, inst)
         self._walked += 1
-        self._append_entry(pc, inst, taken,
-                           next_pc if next_pc is not None else 0, result)
-        if result.completed is not None:
-            self._pc = None
-            return result
-        self._pc = None if path_ends else next_pc
+        completed = self._builder.add(pc, inst, taken,
+                                      next_pc if next_pc is not None else 0)
+        self._entry_stacks.append(self._call_stack)
+        if completed is None:
+            self._pc = None if path_ends else next_pc
+            return result if result is not None else self._plain
+        if result is None:
+            result = self._fresh_result()
+        self._complete(completed, result)
+        self._pc = None
         return result
 
     # ------------------------------------------------------------------
@@ -239,6 +248,10 @@ class TraceConstructor:
         self._entry_stacks.append(self._call_stack)
         if completed is None:
             return
+        self._complete(completed, result)
+
+    def _complete(self, completed: Trace, result: StepResult) -> None:
+        """Populate ``result`` for an emitted trace."""
         self._traces_emitted += 1
         result.completed = completed
         result.notable = True
@@ -288,6 +301,8 @@ class TraceConstructor:
         post-instruction stack snapshot taken by the caller is correct.
         """
         fall = pc + INSTRUCTION_BYTES
+        if not inst.is_control:
+            return False, fall, False
         kind = inst.kind
         if kind is Kind.BRANCH:
             policy = self._branch_policy

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import json
 import os
+from dataclasses import replace
 from pathlib import Path
 from typing import Any, Optional
 
@@ -119,8 +120,14 @@ class ResultCache:
             if payload.get("digest") != digest:
                 raise ValueError("digest mismatch")
             result = RunResult.from_dict(payload, cached=True)
-            if result.spec != spec:
+            # The simulator field is an execution strategy excluded
+            # from the digest: a scalar run may legitimately hit an
+            # entry a vectorized run stored (and vice versa).  Anything
+            # else differing under the same digest is corruption.
+            if result.spec.replace(simulator=spec.simulator) != spec:
                 raise ValueError("spec mismatch")
+            if result.spec.simulator != spec.simulator:
+                result = replace(result, spec=spec)
         except (ValueError, KeyError, TypeError) as error:
             quarantined = self._quarantine(path)
             log.warning("corrupted result-cache entry %s (%s); "

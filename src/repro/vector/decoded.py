@@ -1,0 +1,166 @@
+"""Struct-of-arrays decode of a :class:`~repro.program.ProgramImage`.
+
+The scalar pipeline decodes a program into a list of
+:class:`~repro.isa.Instruction` objects and consults their attributes
+one dynamic instruction at a time.  The vectorized kernel instead works
+from a :class:`DecodedImage`: every instruction field and every
+classification bit laid out as one numpy array over the whole code
+segment, so per-occurrence features of a dynamic stream (trace lengths,
+branch counts, line footprints) become array passes instead of
+per-object attribute walks.
+
+The decode is *derived* — the :class:`~repro.isa.Instruction` list
+stays the source of truth — and must round-trip: ``decoded.instruction(i)``
+reconstructs an instruction equal to ``image.instructions[i]`` for
+every ``i`` (property-tested over arbitrary generated programs,
+including jump-table and reloc edge cases).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.isa import INSTRUCTION_BYTES, Instruction
+from repro.isa.opcodes import OPCODE_INDEX, OPCODES
+from repro.program import ProgramImage
+
+__all__ = ["DecodedImage"]
+
+
+@dataclass(frozen=True)
+class DecodedImage:
+    """Parallel-array decode of one program image.
+
+    Operand arrays mirror :class:`~repro.isa.Instruction` fields;
+    classification arrays mirror its precomputed predicates.
+    ``taken_index`` / ``fall_index`` are *instruction indices* (not byte
+    addresses) of the static taken-path successor and the sequential
+    successor, with ``-1`` for statically unresolvable or out-of-image
+    targets (register-indirect transfers, a jump off the code segment,
+    the fall-through of the last instruction).  ``region`` tags each
+    instruction with the index (in label-address order) of the static
+    region — the innermost label at or below its address — or ``-1``
+    ahead of the first label.
+    """
+
+    code_base: int
+    entry: int
+
+    op: np.ndarray          # int16, index into repro.isa.opcodes.OPCODES
+    rd: np.ndarray          # int16
+    rs1: np.ndarray         # int16
+    rs2: np.ndarray         # int16
+    imm: np.ndarray         # int64
+    sh1: np.ndarray         # int16
+    sh2: np.ndarray         # int16
+
+    is_control: np.ndarray             # bool
+    is_conditional_branch: np.ndarray  # bool
+    is_call: np.ndarray                # bool
+    is_return: np.ndarray              # bool
+    is_indirect: np.ndarray            # bool
+    is_backward: np.ndarray            # bool
+
+    taken_index: np.ndarray  # int64, -1 when unresolvable/out of image
+    fall_index: np.ndarray   # int64, -1 past the end of the segment
+    region: np.ndarray       # int64 static-region tag, -1 before any label
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_image(cls, image: ProgramImage) -> "DecodedImage":
+        """Decode ``image`` into parallel arrays (one pass, at build)."""
+        instructions = image.instructions
+        n = len(instructions)
+        op = np.empty(n, dtype=np.int16)
+        rd = np.empty(n, dtype=np.int16)
+        rs1 = np.empty(n, dtype=np.int16)
+        rs2 = np.empty(n, dtype=np.int16)
+        imm = np.empty(n, dtype=np.int64)
+        sh1 = np.empty(n, dtype=np.int16)
+        sh2 = np.empty(n, dtype=np.int16)
+        is_control = np.empty(n, dtype=np.bool_)
+        is_cond = np.empty(n, dtype=np.bool_)
+        is_call = np.empty(n, dtype=np.bool_)
+        is_return = np.empty(n, dtype=np.bool_)
+        is_indirect = np.empty(n, dtype=np.bool_)
+        is_backward = np.empty(n, dtype=np.bool_)
+        taken_pc = np.full(n, -1, dtype=np.int64)
+
+        index_of = OPCODE_INDEX
+        base = image.code_base
+        for i, inst in enumerate(instructions):
+            op[i] = index_of[inst.op]
+            rd[i] = inst.rd
+            rs1[i] = inst.rs1
+            rs2[i] = inst.rs2
+            imm[i] = inst.imm
+            sh1[i] = inst.sh1
+            sh2[i] = inst.sh2
+            is_control[i] = inst.is_control
+            is_cond[i] = inst.is_conditional_branch
+            is_call[i] = inst.is_call
+            is_return[i] = inst.is_return
+            is_indirect[i] = inst.is_indirect
+            is_backward[i] = inst.is_backward
+            target = inst.taken_target(base + i * INSTRUCTION_BYTES)
+            if target is not None:
+                taken_pc[i] = target
+
+        # Successor ids, resolved vectorized: a target maps to an
+        # instruction index only when word-aligned and inside the code
+        # segment; everything else is -1.
+        offset = taken_pc - base
+        candidate = offset >> 2
+        valid = ((taken_pc >= 0) & (offset >= 0) & (offset % 4 == 0)
+                 & (candidate < n))
+        taken_index = np.where(valid, candidate, -1)
+        fall_index = np.arange(1, n + 1, dtype=np.int64)
+        if n:
+            fall_index[n - 1] = -1
+
+        # Static-region tags from the label map: innermost label at or
+        # below each instruction's address.
+        region = np.full(n, -1, dtype=np.int64)
+        if image.labels:
+            label_addrs = np.array(sorted(set(image.labels.values())),
+                                   dtype=np.int64)
+            pcs = base + np.arange(n, dtype=np.int64) * INSTRUCTION_BYTES
+            region = np.searchsorted(label_addrs, pcs, side="right") - 1
+
+        return cls(code_base=base, entry=image.entry, op=op, rd=rd,
+                   rs1=rs1, rs2=rs2, imm=imm, sh1=sh1, sh2=sh2,
+                   is_control=is_control, is_conditional_branch=is_cond,
+                   is_call=is_call, is_return=is_return,
+                   is_indirect=is_indirect, is_backward=is_backward,
+                   taken_index=taken_index, fall_index=fall_index,
+                   region=region)
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return int(self.op.shape[0])
+
+    def index_of(self, pc: int) -> int:
+        """Instruction index of byte address ``pc`` (no bounds check)."""
+        return (pc - self.code_base) >> 2
+
+    def pc_of(self, index: int) -> int:
+        """Byte address of instruction ``index``."""
+        return self.code_base + index * INSTRUCTION_BYTES
+
+    def instruction(self, index: int) -> Instruction:
+        """Reconstruct the scalar :class:`Instruction` at ``index``.
+
+        The round-trip contract: equal (``==``) to the source image's
+        instruction at the same index, including every derived
+        classification attribute (they are recomputed by the
+        constructor from the same fields).
+        """
+        return Instruction(op=OPCODES[int(self.op[index])],
+                           rd=int(self.rd[index]),
+                           rs1=int(self.rs1[index]),
+                           rs2=int(self.rs2[index]),
+                           imm=int(self.imm[index]),
+                           sh1=int(self.sh1[index]),
+                           sh2=int(self.sh2[index]))

@@ -1,0 +1,159 @@
+"""Vectorized trace delimitation over struct-of-arrays stream data.
+
+The scalar pipeline feeds one :class:`~repro.engine.StreamRecord` at a
+time through :class:`~repro.trace.TraceBuilder`.  The vectorized kernel
+re-expresses the dynamic stream as index arrays into a
+:class:`~repro.vector.decoded.DecodedImage` and computes the trace
+partition from precomputed stop/alignment masks: the per-record rule
+masks (end-at-return, end-at-indirect, backward-branch) are array
+passes, and the boundary walk consumes them one *trace* (not one
+instruction) at a time.
+
+The stopping rules are the same four as the scalar builder — max
+length, end at returns, end at indirect transfers, aligned cut beyond
+the last backward branch — and the equivalence is enforced twice: a
+differential test battery over arbitrary streams, plus a cheap
+structural cross-check in :func:`repro.vector.plan.build_plan` every
+time a batch plan is built.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.engine import StreamRecord
+from repro.trace import SelectionConfig
+
+from repro.vector.decoded import DecodedImage
+
+__all__ = ["StreamArrays", "stream_arrays", "trace_boundaries",
+           "final_trace_is_partial", "occurrence_lengths",
+           "occurrence_branch_counts"]
+
+
+@dataclass(frozen=True)
+class StreamArrays:
+    """One dynamic stream as parallel arrays.
+
+    ``index`` holds each record's instruction index into the decoded
+    image; ``taken`` the conditional-branch outcome (False elsewhere);
+    ``next_pc`` the dynamically-next byte address (disambiguates a
+    trailing indirect transfer's target, which the static arrays cannot
+    resolve).
+    """
+
+    index: np.ndarray    # int64 instruction ids
+    taken: np.ndarray    # bool
+    next_pc: np.ndarray  # int64 byte addresses
+
+    def __len__(self) -> int:
+        return int(self.index.shape[0])
+
+
+def stream_arrays(stream: Sequence[StreamRecord],
+                  decoded: DecodedImage) -> StreamArrays:
+    """Re-express ``stream`` as index arrays into ``decoded``."""
+    n = len(stream)
+    index = np.empty(n, dtype=np.int64)
+    taken = np.empty(n, dtype=np.bool_)
+    next_pc = np.empty(n, dtype=np.int64)
+    base = decoded.code_base
+    for i, record in enumerate(stream):
+        index[i] = (record.pc - base) >> 2
+        taken[i] = record.taken
+        next_pc[i] = record.next_pc
+    return StreamArrays(index=index, taken=taken, next_pc=next_pc)
+
+
+def trace_boundaries(arrays: StreamArrays, decoded: DecodedImage,
+                     selection: SelectionConfig) -> np.ndarray:
+    """Exclusive end positions of every trace of ``arrays``' stream.
+
+    ``ends[-1] == len(arrays)`` always; the final trace is *partial*
+    (delimited by the measurement boundary, not a rule) exactly when no
+    stopping rule fired on the last record — see
+    :func:`final_trace_is_partial`.
+    """
+    idx = arrays.index
+    forced = np.zeros(len(arrays), dtype=np.bool_)
+    if selection.end_at_returns:
+        forced |= decoded.is_return[idx]
+    if selection.end_at_indirect:
+        forced |= decoded.is_indirect[idx]
+    backward = decoded.is_backward[idx]
+
+    # The walk advances one trace per iteration over plain Python bools
+    # (scalar indexing into numpy arrays costs more than it saves).
+    forced_list = forced.tolist()
+    backward_list = backward.tolist()
+    n = len(forced_list)
+    max_length = selection.max_length
+    align = selection.align_multiple
+    ends: list[int] = []
+    pos = 0
+    while pos < n:
+        window_end = min(pos + max_length, n)
+        end = -1
+        for i in range(pos, window_end):
+            if forced_list[i]:
+                end = i + 1
+                break
+        if end < 0:
+            if window_end - pos == max_length:
+                # Length limit: aligned cut beyond the last backward
+                # branch in the full window (scalar _aligned_cut).
+                last_backward = -1
+                for i in range(window_end - 1, pos - 1, -1):
+                    if backward_list[i]:
+                        last_backward = i - pos
+                        break
+                if align and last_backward >= 0:
+                    beyond = max_length - last_backward - 1
+                    end = (pos + last_backward + 1
+                           + (beyond // align) * align)
+                else:
+                    end = window_end
+            else:
+                end = n  # partial tail, no rule fired
+        ends.append(end)
+        pos = end
+    return np.asarray(ends, dtype=np.int64)
+
+
+def final_trace_is_partial(arrays: StreamArrays, decoded: DecodedImage,
+                           selection: SelectionConfig,
+                           ends: np.ndarray) -> bool:
+    """Whether the last trace was cut by the stream boundary.
+
+    A rule-delimited final trace ends on a forced stop or a full
+    length-limit window; anything shorter that still reaches the end of
+    the stream is the flush-emitted partial tail.
+    """
+    if len(ends) == 0:
+        return False
+    start = int(ends[-2]) if len(ends) > 1 else 0
+    end = int(ends[-1])
+    last = int(arrays.index[end - 1])
+    if selection.end_at_returns and bool(decoded.is_return[last]):
+        return False
+    if selection.end_at_indirect and bool(decoded.is_indirect[last]):
+        return False
+    return end - start < selection.max_length
+
+
+def occurrence_lengths(ends: np.ndarray) -> np.ndarray:
+    """Per-trace instruction counts, as one vectorized diff."""
+    return np.diff(ends, prepend=np.int64(0))
+
+
+def occurrence_branch_counts(arrays: StreamArrays, decoded: DecodedImage,
+                             ends: np.ndarray) -> np.ndarray:
+    """Per-trace conditional-branch counts, as one reduceat pass."""
+    if len(ends) == 0:
+        return np.zeros(0, dtype=np.int64)
+    is_branch = decoded.is_conditional_branch[arrays.index].astype(np.int64)
+    starts = np.concatenate((np.zeros(1, dtype=np.int64), ends[:-1]))
+    return np.add.reduceat(is_branch, starts)

@@ -48,3 +48,29 @@ class TestSurface:
                      "hotspot_rows", "append_trajectory",
                      "read_trajectory", "trajectory_reference"):
             assert name in api.__all__, name
+
+    def test_vector_names_exported(self):
+        for name in ("SIMULATOR_KINDS", "DecodedImage", "BatchPlan",
+                     "PlanMismatchError", "build_plan",
+                     "run_frontend_batch"):
+            assert name in api.__all__, name
+
+
+class TestSimulatorDocs:
+    """DESIGN.md §17 and the README kernel section stay in lockstep
+    with the shipped `SIMULATOR_KINDS`."""
+
+    DESIGN = Path(__file__).parent.parent / "DESIGN.md"
+
+    def test_readme_documents_kernel_choice(self):
+        text = README.read_text()
+        assert "### Choosing a simulator kernel" in text
+        for kind in api.SIMULATOR_KINDS:
+            assert f"`{kind}`" in text, kind
+        assert "tests/test_vector.py" in text
+
+    def test_design_documents_the_kernel(self):
+        text = self.DESIGN.read_text()
+        assert "## 17. The batched struct-of-arrays kernel" in text
+        assert '("scalar", "vectorized")' in text
+        assert "excluded from the spec digest" in text

@@ -116,7 +116,12 @@ class TestMutationCheck:
         assert len(report.failures) == 2
         for failure in report.failures:
             assert failure.violations > 0
-            assert any("[conservation]" in m for m in failure.messages)
+            # The corrupted counter lives in the scalar kernel: a case
+            # whose primary leg is scalar trips the conservation laws,
+            # while a vectorized-leg case sees clean conservation but
+            # the simulator differential catches the kernel divergence.
+            assert any("[conservation]" in m or "[simulator]" in m
+                       for m in failure.messages)
             minimized = failure.minimized
             assert minimized is not None
             # Acceptance criterion: the reproducer is within 3 profile
@@ -133,7 +138,9 @@ class TestMutationCheck:
         assert minimized is not None
         assert minimized.instructions < BUDGET
         assert minimized.instructions >= MIN_INSTRUCTIONS
-        assert minimized.failing_oracles == ("conservation",)
+        # The scalar-kernel corruption breaks conservation directly and
+        # diverges from the (uncorrupted) vectorized kernel.
+        assert minimized.failing_oracles == ("conservation", "simulator")
         assert len(minimized.knobs) <= minimized.original_knobs
         assert minimized.probes > 1
 
@@ -171,15 +178,22 @@ class TestGoldenCorpus:
         names = [case["name"] for case in cases]
         assert len(names) == len(set(names))
 
+    def test_corpus_exercises_both_kernels(self):
+        drawn = {case.get("simulator", "scalar") for case in self._cases()}
+        assert drawn == {"scalar", "vectorized"}
+
     @pytest.mark.parametrize("case", json.loads(
         GOLDEN.read_text())["cases"], ids=lambda case: case["name"])
     def test_pinned_case_passes_every_oracle(self, case):
         profile = WorkloadProfile(name=case["name"], seed=case["seed"],
                                   **case["knobs"])
-        report = check_profile(profile, case["instructions"],
-                               tc_entries=case["tc_entries"],
-                               pb_entries=case["pb_entries"],
-                               static_seed=case["static_seed"])
+        report = check_profile(
+            profile, case["instructions"],
+            tc_entries=case["tc_entries"],
+            pb_entries=case["pb_entries"],
+            static_seed=case["static_seed"],
+            mechanism=case.get("mechanism", "preconstruction"),
+            simulator=case.get("simulator", "scalar"))
         assert report.ok, [str(v) for v in report.violations]
 
 
